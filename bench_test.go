@@ -1,0 +1,121 @@
+// Benchmarks wrapping the experiment harness: one testing.B benchmark per
+// table/figure of EXPERIMENTS.md (X1–X14), plus micro-benchmarks for the
+// substrates. Experiment benchmarks report virtual-time metrics through
+// b.ReportMetric where meaningful; their full tables are printed by
+// `go run ./cmd/bftbench`.
+package bftkit
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"bftkit/internal/crypto"
+	"bftkit/internal/experiments"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/sim"
+	"bftkit/internal/types"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Run(io.Discard)
+	}
+}
+
+func BenchmarkX01DesignSpace(b *testing.B)          { benchExperiment(b, "X1") }
+func BenchmarkX02GoodCaseLatency(b *testing.B)      { benchExperiment(b, "X2") }
+func BenchmarkX03MessageComplexity(b *testing.B)    { benchExperiment(b, "X3") }
+func BenchmarkX04ThroughputLatencyTradeoff(b *testing.B) { benchExperiment(b, "X4") }
+func BenchmarkX05ViewChange(b *testing.B)           { benchExperiment(b, "X5") }
+func BenchmarkX06OptimisticFallback(b *testing.B)   { benchExperiment(b, "X6") }
+func BenchmarkX07ConflictFree(b *testing.B)         { benchExperiment(b, "X7") }
+func BenchmarkX08OrderFairness(b *testing.B)        { benchExperiment(b, "X8") }
+func BenchmarkX09LoadBalancing(b *testing.B)        { benchExperiment(b, "X9") }
+func BenchmarkX10Authentication(b *testing.B)       { benchExperiment(b, "X10") }
+func BenchmarkX11Responsiveness(b *testing.B)       { benchExperiment(b, "X11") }
+func BenchmarkX12PhaseVsReplicas(b *testing.B)      { benchExperiment(b, "X12") }
+func BenchmarkX13CheckpointRecovery(b *testing.B)   { benchExperiment(b, "X13") }
+func BenchmarkX14RobustUnderAttack(b *testing.B)    { benchExperiment(b, "X14") }
+
+func BenchmarkA01BatchingAblation(b *testing.B)     { benchExperiment(b, "A1") }
+func BenchmarkA02LeaderReputationAblation(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA03ProgressTimerAblation(b *testing.B)    { benchExperiment(b, "A3") }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkEd25519Sign(b *testing.B) {
+	auth := crypto.NewAuthority(1)
+	s := auth.Signer(0)
+	d := types.DigestBytes([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(d)
+	}
+}
+
+func BenchmarkEd25519Verify(b *testing.B) {
+	auth := crypto.NewAuthority(1)
+	d := types.DigestBytes([]byte("bench"))
+	sig := auth.Signer(0).Sign(d)
+	v := auth.Verifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.VerifySig(0, d, sig)
+	}
+}
+
+func BenchmarkHMACAuthenticator(b *testing.B) {
+	auth := crypto.NewAuthority(1)
+	s := auth.Signer(0)
+	d := types.DigestBytes([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MAC(1, d)
+	}
+}
+
+func BenchmarkKVStoreApply(b *testing.B) {
+	s := kvstore.New()
+	ops := make([][]byte, 64)
+	for i := range ops {
+		ops[i] = kvstore.Put(fmt.Sprintf("k%d", i%16), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(ops[i%len(ops)])
+	}
+}
+
+func BenchmarkKVStoreSpecApplyRollback(b *testing.B) {
+	s := kvstore.New()
+	op := kvstore.Put("k", []byte("v"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, d := s.SpecApply(op)
+		s.Rollback(d - 1)
+	}
+}
+
+func BenchmarkSchedulerEventLoop(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.After(time.Microsecond, func() {})
+		sched.Step()
+	}
+}
+
+func BenchmarkRequestDigest(b *testing.B) {
+	req := &types.Request{Client: types.ClientIDBase, ClientSeq: 1, Op: make([]byte, 128)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Digest()
+	}
+}

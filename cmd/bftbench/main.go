@@ -1,0 +1,52 @@
+// Command bftbench regenerates the experiment tables of EXPERIMENTS.md:
+// every table and figure claim of the paper, reproduced on the
+// deterministic simulator.
+//
+// Usage:
+//
+//	bftbench                 # run all experiments
+//	bftbench -experiment X4  # run one experiment
+//	bftbench -list           # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bftkit/internal/experiments"
+)
+
+func main() {
+	one := flag.String("experiment", "", "run a single experiment by ID (e.g. X4)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *one != "" {
+		e, ok := experiments.ByID(*one)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *one)
+			os.Exit(1)
+		}
+		runOne(e)
+		return
+	}
+	for _, e := range experiments.All {
+		runOne(e)
+		fmt.Println()
+	}
+}
+
+func runOne(e experiments.Experiment) {
+	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+	start := time.Now()
+	e.Run(os.Stdout)
+	fmt.Printf("--- %s done in %v (wall clock) ---\n", e.ID, time.Since(start).Round(time.Millisecond))
+}

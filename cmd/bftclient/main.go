@@ -1,0 +1,97 @@
+// Command bftclient drives a bftnode cluster: it submits key-value
+// operations through the protocol's client logic and reports end-to-end
+// latency statistics.
+//
+// Usage (against the bftnode example cluster):
+//
+//	bftclient -protocol pbft -peers 0=:7000,1=:7001,2=:7002,3=:7003 \
+//	          -listen :7100 -requests 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/crypto"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/transport"
+	"bftkit/internal/types"
+)
+
+func main() {
+	proto := flag.String("protocol", "pbft", "registered protocol name")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port for every replica")
+	listen := flag.String("listen", ":7100", "address this client listens on for replies")
+	seed := flag.Int64("seed", 1, "deployment key seed (must match the nodes)")
+	requests := flag.Int("requests", 50, "number of requests to issue (closed loop)")
+	f := flag.Int("f", 0, "fault threshold (0 = derive from n)")
+	flag.Parse()
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+	reg, ok := core.Lookup(*proto)
+	if !ok {
+		log.Fatalf("unknown protocol %q; registered: %v", *proto, core.Names())
+	}
+	n := len(peers)
+	cfg := core.DefaultConfig(n)
+	if *f > 0 {
+		cfg.F = *f
+	} else {
+		cfg.F = 0
+		for ff := 1; reg.Profile.MinReplicas(ff) <= n; ff++ {
+			cfg.F = ff
+		}
+	}
+	cfg.Scheme = reg.Profile.AuthOrdering
+
+	clientID := types.ClientIDBase
+	peers[clientID] = *listen
+	node := transport.NewNode(clientID, peers, *seed)
+	auth := crypto.NewAuthority(*seed)
+
+	done := make(chan struct{}, 1)
+	hooks := core.ClientHooks{
+		OnDone: func(_ types.NodeID, _ *types.Request, _ []byte, _ time.Duration) {
+			done <- struct{}{}
+		},
+	}
+	client := core.NewClient(clientID, cfg, node, reg.ClientFor(cfg), auth, hooks)
+	node.SetHandler(client)
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	client.Start()
+
+	var latencies []time.Duration
+	for i := 1; i <= *requests; i++ {
+		op := kvstore.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("value-%d", i)))
+		req := &types.Request{ClientSeq: uint64(i), Op: op, ArrivalHint: int64(node.Now())}
+		start := time.Now()
+		client.Submit(req)
+		select {
+		case <-done:
+			latencies = append(latencies, time.Since(start))
+		case <-time.After(10 * time.Second):
+			log.Fatalf("request %d timed out after 10s", i)
+		}
+	}
+	node.Stop()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("%d requests against %s (n=%d, f=%d)\n", len(latencies), *proto, n, cfg.F)
+	fmt.Printf("latency mean=%v p50=%v p99=%v\n",
+		(sum / time.Duration(len(latencies))).Round(time.Microsecond),
+		latencies[len(latencies)/2].Round(time.Microsecond),
+		latencies[(len(latencies)-1)*99/100].Round(time.Microsecond))
+}

@@ -1,0 +1,87 @@
+// Command bftnode runs one replica of any registered protocol over TCP —
+// the local multi-node deployment path. Start n processes with the same
+// -peers table (and the same -seed, which derives the deployment's key
+// material), then drive them with bftclient.
+//
+// Example, a 4-node PBFT cluster on one machine:
+//
+//	bftnode -id 0 -protocol pbft -peers 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	bftnode -id 1 -protocol pbft -peers 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	bftnode -id 2 -protocol pbft -peers 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	bftnode -id 3 -protocol pbft -peers 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	bftclient -protocol pbft -peers ... -requests 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/crypto"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/transport"
+	"bftkit/internal/types"
+)
+
+func main() {
+	id := flag.Int("id", 0, "replica ID (0..n-1)")
+	proto := flag.String("protocol", "pbft", "registered protocol name")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port for every replica")
+	seed := flag.Int64("seed", 1, "deployment key seed (must match across nodes)")
+	f := flag.Int("f", 0, "fault threshold (0 = derive from n)")
+	verbose := flag.Bool("v", false, "log protocol traces")
+	flag.Parse()
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+	reg, ok := core.Lookup(*proto)
+	if !ok {
+		log.Fatalf("unknown protocol %q; registered: %v", *proto, core.Names())
+	}
+	n := len(peers)
+	cfg := core.DefaultConfig(n)
+	if *f > 0 {
+		cfg.F = *f
+	} else {
+		cfg.F = 0
+		for ff := 1; reg.Profile.MinReplicas(ff) <= n; ff++ {
+			cfg.F = ff
+		}
+		if cfg.F == 0 {
+			log.Fatalf("%d replicas cannot tolerate any fault under n=%s", n, reg.Profile.Replicas)
+		}
+	}
+	cfg.Scheme = reg.Profile.AuthOrdering
+
+	node := transport.NewNode(types.NodeID(*id), peers, *seed)
+	auth := crypto.NewAuthority(*seed)
+	hooks := core.Hooks{
+		OnCommit: func(_ types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, _ *types.CommitProof, _ time.Duration) {
+			log.Printf("commit view=%d seq=%d (%d requests)", v, seq, b.Len())
+		},
+		OnViolation: func(_ types.NodeID, err error) {
+			log.Printf("SAFETY VIOLATION: %v", err)
+		},
+	}
+	if *verbose {
+		hooks.Logf = log.Printf
+	}
+	replica := core.NewReplica(types.NodeID(*id), cfg, node, reg.NewReplica(cfg), kvstore.New(), auth, hooks)
+	node.SetHandler(replica)
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	replica.Start()
+	fmt.Printf("bftnode %d (%s, n=%d, f=%d) listening on %s\n", *id, *proto, n, cfg.F, peers[types.NodeID(*id)])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	node.Stop()
+}

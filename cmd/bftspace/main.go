@@ -1,0 +1,277 @@
+// Command bftspace explores the paper's design space interactively: list
+// the registered protocols as points in the space, inspect one, apply the
+// fourteen design-choice transformations of §2.3, and ask for a
+// recommendation given application needs — the tutorial's stated goal of
+// helping developers "find the protocol that best fits their needs".
+//
+// Usage:
+//
+//	bftspace list
+//	bftspace show pbft
+//	bftspace choices
+//	bftspace apply linearization pbft
+//	bftspace apply leader-rotation pbft+linear   # chains are allowed
+//	bftspace recommend -geo -fairness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bftkit/internal/core"
+
+	_ "bftkit/internal/experiments" // registers every protocol
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "show":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		show(os.Args[2])
+	case "choices":
+		for _, c := range core.Choices {
+			fmt.Printf("DC%-3d %-28s %s\n", c.ID, c.Name, c.Summary)
+		}
+	case "apply":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		apply(os.Args[2], os.Args[3])
+	case "recommend":
+		recommend(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bftspace list | show <proto> | choices | apply <choice> <proto> | recommend [flags]")
+	os.Exit(2)
+}
+
+func profileByName(name string) (core.Profile, bool) {
+	if reg, ok := core.Lookup(name); ok {
+		return reg.Profile, true
+	}
+	// Derived names (pbft+linear etc.) are built by re-applying chains.
+	parts := strings.Split(name, "+")
+	reg, ok := core.Lookup(parts[0])
+	if !ok {
+		return core.Profile{}, false
+	}
+	p := reg.Profile
+	for _, suffix := range parts[1:] {
+		applied := false
+		for _, c := range core.Choices {
+			out, err := c.Apply(p)
+			if err != nil {
+				continue
+			}
+			if strings.HasSuffix(out.Name, "+"+suffix) || strings.Contains(out.Name, "+"+suffix+"(") {
+				p, applied = out, true
+				break
+			}
+		}
+		if !applied {
+			return core.Profile{}, false
+		}
+	}
+	return p, true
+}
+
+func list() {
+	names := core.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		reg, _ := core.Lookup(n)
+		fmt.Println(reg.Profile.Summary())
+	}
+}
+
+func show(name string) {
+	p, ok := profileByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", name)
+		os.Exit(1)
+	}
+	printProfile(p)
+}
+
+func printProfile(p core.Profile) {
+	fmt.Printf("%s — %s\n", p.Name, p.Description)
+	strategy := p.Strategy.String()
+	if p.Speculative {
+		strategy += " (speculative)"
+	}
+	fmt.Printf("  P1 strategy:       %s\n", strategy)
+	if len(p.Assumptions) > 0 {
+		var as []string
+		for _, a := range p.Assumptions {
+			as = append(as, a.String())
+		}
+		fmt.Printf("  P1 assumptions:    %s\n", strings.Join(as, ", "))
+	}
+	fmt.Printf("  P2 phases:         %d %v\n", p.Phases, p.PhaseTopos)
+	fmt.Printf("  P3 leader:         %s (separate view-change stage: %v)\n", p.Leader, p.HasViewChange)
+	fmt.Printf("  P4 checkpointing:  %v\n", p.Checkpointing)
+	fmt.Printf("  P5 recovery:       %s\n", p.Recovery)
+	fmt.Printf("  P6 clients:        %s\n", p.ClientRoles)
+	fmt.Printf("  E1 replicas:       n=%s, quorum=%s", p.Replicas, p.Quorum)
+	if !p.FastQuorum.IsZero() {
+		fmt.Printf(", fast quorum=%s", p.FastQuorum)
+	}
+	if !p.ActiveReplicas.IsZero() {
+		fmt.Printf(", active=%s", p.ActiveReplicas)
+	}
+	fmt.Println()
+	fmt.Printf("  E2 topology:       %s (%s per slot)\n", p.Topology, p.MessageComplexity())
+	fmt.Printf("  E3 authentication: ordering=%s, view-change=%s\n", p.AuthOrdering, p.AuthViewChange)
+	var ts []string
+	for _, tm := range p.Timers {
+		ts = append(ts, tm.String())
+	}
+	fmt.Printf("  E4 responsive:     %v (timers: %s)\n", p.Responsive, strings.Join(ts, ", "))
+	fairness := p.Fairness.String()
+	if p.Fairness == core.FairnessGamma {
+		fairness = fmt.Sprintf("γ-fair (γ=%.2g)", p.Gamma)
+	}
+	fmt.Printf("  Q1 order-fairness: %s\n", fairness)
+	fmt.Printf("  Q2 load balancing: %s\n", p.LoadBalancing)
+	fmt.Printf("  at f=1: n=%d, quorum=%d, %d good-case messages/slot\n",
+		p.MinReplicas(1), p.QuorumSize(1), p.GoodCaseMessages(p.MinReplicas(1)))
+}
+
+func apply(choiceName, protoName string) {
+	choice, ok := core.ChoiceByName(choiceName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown design choice %q; see `bftspace choices`\n", choiceName)
+		os.Exit(1)
+	}
+	p, ok := profileByName(protoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", protoName)
+		os.Exit(1)
+	}
+	out, err := choice.Apply(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "DC%d(%s) is not applicable: %v\n", choice.ID, p.Name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("DC%d (%s) applied to %s:\n\n", choice.ID, choice.Name, p.Name)
+	printProfile(out)
+	if twin := findTwin(out); twin != "" {
+		fmt.Printf("\nThis point matches the structure of the registered protocol %q —\n"+
+			"exactly the mapping §2.3 describes.\n", twin)
+	}
+}
+
+// findTwin reports a registered protocol with the same core coordinates.
+func findTwin(p core.Profile) string {
+	for _, name := range core.Names() {
+		reg, _ := core.Lookup(name)
+		q := reg.Profile
+		if q.Phases == p.Phases && q.Topology == p.Topology && q.Leader == p.Leader &&
+			q.Replicas == p.Replicas && q.Speculative == p.Speculative &&
+			q.Fairness == p.Fairness && q.Strategy == p.Strategy {
+			return name
+		}
+	}
+	return ""
+}
+
+func recommend(args []string) {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	geo := fs.Bool("geo", false, "geo-replicated deployment (latency-sensitive, WAN)")
+	throughput := fs.Bool("throughput", false, "throughput at large n matters most")
+	fairness := fs.Bool("fairness", false, "order-fairness required (e.g. trading)")
+	robust := fs.Bool("robust", false, "must perform under active attack")
+	cheap := fs.Bool("cheap", false, "minimize replicas doing agreement work")
+	conflictFree := fs.Bool("conflict-free", false, "workload rarely touches shared objects")
+	balanced := fs.Bool("balanced", false, "spread load off the leader")
+	fs.Parse(args)
+
+	type scored struct {
+		name  string
+		score int
+		why   []string
+	}
+	var out []scored
+	for _, name := range core.Names() {
+		reg, _ := core.Lookup(name)
+		p := reg.Profile
+		if p.CrashOnly {
+			continue
+		}
+		s := scored{name: name}
+		if *geo {
+			if p.Phases <= 3 && p.Responsive {
+				s.score += 2
+				s.why = append(s.why, "few phases and responsive: WAN-friendly")
+			} else if p.Phases <= 3 {
+				s.score++
+				s.why = append(s.why, "few phases")
+			}
+		}
+		if *throughput && p.MessageComplexity() == "O(n)" {
+			s.score += 2
+			s.why = append(s.why, "linear message complexity scales with n")
+		}
+		if *fairness {
+			switch p.Fairness {
+			case core.FairnessGamma:
+				s.score += 3
+				s.why = append(s.why, "γ-order-fairness")
+			case core.FairnessPartial:
+				s.score++
+				s.why = append(s.why, "partial fairness")
+			}
+		}
+		if *robust && p.Strategy == core.Robust {
+			s.score += 3
+			s.why = append(s.why, "built for performance under attack")
+		}
+		if *cheap && !p.ActiveReplicas.IsZero() {
+			s.score += 2
+			s.why = append(s.why, "only 2f+1 active replicas")
+		}
+		if *conflictFree && p.HasAssumption(core.AssumeConflictFree) {
+			s.score += 3
+			s.why = append(s.why, "no ordering at all when operations are disjoint")
+		}
+		if *balanced && (p.LoadBalancing == core.LBTree || p.LoadBalancing == core.LBRotation || p.LoadBalancing == core.LBChain) {
+			s.score += 2
+			s.why = append(s.why, "load balancing: "+p.LoadBalancing.String())
+		}
+		if s.score > 0 {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		fmt.Println("No constraints given (or none matched); pbft is the conservative default:")
+		fmt.Println("pessimistic, 3f+1, well understood. Use flags to narrow (see -h).")
+		return
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].name < out[j].name
+	})
+	fmt.Println("Recommendation (the paper's point: there is no one-size-fits-all):")
+	for i, s := range out {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("%d. %-10s score=%d  %s\n", i+1, s.name, s.score, strings.Join(s.why, "; "))
+	}
+}

@@ -1,0 +1,59 @@
+// Fair exchange — the order-fairness motivation of dimension Q1: on a
+// trading venue, a Byzantine leader that reorders requests can front-run
+// every client. This example runs the same order flow twice: once under
+// PBFT with a front-running leader, once under Themis (design choice 13),
+// and reports how many submission-order pairs each protocol inverted.
+//
+//	go run ./examples/fairexchange
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/protocols/pbft"
+	"bftkit/internal/types"
+
+	_ "bftkit/internal/protocols/themis"
+)
+
+func run(proto string) (violations, pairs int) {
+	c := harness.NewCluster(harness.Options{
+		Protocol: proto, F: 1, Clients: 6, Seed: 11,
+		Tune: func(cfg *core.Config) { cfg.BatchSize = 1 },
+		MakeReplica: func(id types.NodeID, cfg core.Config) core.Protocol {
+			if proto == "pbft" && id == 0 {
+				// The adversary: a leader that drains its backlog
+				// newest-first, systematically front-running.
+				return pbft.NewWithOptions(cfg, pbft.Options{FrontRun: true})
+			}
+			return nil
+		},
+	})
+	c.Start()
+	// Six traders submit orders every 3ms — ground-truth submission
+	// times are recorded by the harness.
+	c.OpenLoop(10, 3*time.Millisecond, func(trader, k int) []byte {
+		return kvstore.Put(fmt.Sprintf("order/t%d/%d", trader, k), []byte("BUY 1 @ market"))
+	})
+	c.RunUntilIdle(120 * time.Second)
+	return c.Metrics.FairnessViolations(2 * time.Millisecond)
+}
+
+func main() {
+	fmt.Println("order flow: 6 traders × 10 market orders, submitted 3ms apart")
+	fmt.Println()
+	v, p := run("pbft")
+	fmt.Printf("PBFT + front-running leader: %d of %d pairs inverted (%.1f%%)\n",
+		v, p, 100*float64(v)/float64(p))
+	fmt.Println("  → a Byzantine leader freely reorders; clients cannot even prove it")
+	fmt.Println()
+	v2, p2 := run("themis")
+	fmt.Printf("Themis (γ-order-fairness):   %d of %d pairs inverted (%.1f%%)\n",
+		v2, p2, 100*float64(v2)/float64(p2))
+	fmt.Println("  → replicas report their local receive order; the leader must propose")
+	fmt.Println("    the deterministic fair order or its proposal is rejected (DC 13)")
+}

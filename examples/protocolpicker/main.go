@@ -1,0 +1,88 @@
+// Protocol picker — the tutorial's stated goal: "help developers analyze
+// BFT protocols, understand how different protocols are related to each
+// other, and find the protocol that best fits their needs." This example
+// uses the design-space API directly: it starts from PBFT, derives other
+// protocols by applying the paper's design choices, and then scores the
+// registered protocols against two application profiles.
+//
+//	go run ./examples/protocolpicker
+package main
+
+import (
+	"fmt"
+
+	"bftkit/internal/core"
+
+	_ "bftkit/internal/experiments" // registers every protocol
+)
+
+func main() {
+	fmt.Println("§2.3: design choices are functions between points in the design space")
+	fmt.Println()
+
+	pbft := core.PBFTProfile()
+	fmt.Printf("start: %s\n", pbft.Summary())
+
+	lin, _ := core.Linearize(pbft)
+	fmt.Printf("DC1  → %s\n", lin.Summary())
+
+	hs, _ := core.LeaderRotation(lin)
+	fmt.Printf("DC3  → %s\n", hs.Summary())
+	fmt.Printf("       (compare: %s)\n", profSummary(core.HotStuffProfile()))
+
+	tm, _ := core.NonResponsiveRotation(pbft)
+	fmt.Printf("DC4  → %s\n", tm.Summary())
+	fmt.Printf("       (compare: %s)\n", profSummary(core.TendermintProfile()))
+
+	fab, _ := core.PhaseReduction(pbft)
+	fmt.Printf("DC2  → %s\n", fab.Summary())
+	fmt.Printf("       (compare: %s)\n", profSummary(core.FaBProfile()))
+
+	zyz, _ := core.SpeculativeExecution(pbft)
+	fmt.Printf("DC8  → %s\n", zyz.Summary())
+	fmt.Printf("       (compare: %s)\n", profSummary(core.ZyzzyvaProfile()))
+
+	fmt.Println()
+	fmt.Println("picking for a geo-replicated payment network (latency-sensitive, f=1):")
+	pick(func(p core.Profile) (int, string) {
+		if p.Phases <= 2 && p.Responsive {
+			return 3, "two phases and responsive: commits at WAN speed"
+		}
+		if p.Phases <= 3 && p.Responsive {
+			return 2, "few phases, responsive"
+		}
+		return 0, ""
+	})
+
+	fmt.Println()
+	fmt.Println("picking for a high-throughput permissioned blockchain (n=64):")
+	pick(func(p core.Profile) (int, string) {
+		score := 0
+		why := ""
+		if p.MessageComplexity() == "O(n)" {
+			score += 2
+			why = "linear message complexity"
+		}
+		if p.LoadBalancing != core.LBNone {
+			score++
+			why += "; load balancing: " + p.LoadBalancing.String()
+		}
+		return score, why
+	})
+}
+
+func profSummary(p core.Profile) string { return p.Summary() }
+
+func pick(score func(core.Profile) (int, string)) {
+	best, bestScore, why := "", -1, ""
+	for _, name := range core.Names() {
+		reg, _ := core.Lookup(name)
+		if reg.Profile.CrashOnly {
+			continue // Raft cannot survive Byzantine replicas at all
+		}
+		if s, w := score(reg.Profile); s > bestScore {
+			best, bestScore, why = name, s, w
+		}
+	}
+	fmt.Printf("  → %s (%s)\n", best, why)
+}

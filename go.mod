@@ -1,0 +1,3 @@
+module bftkit
+
+go 1.23

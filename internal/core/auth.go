@@ -1,0 +1,30 @@
+package core
+
+import (
+	"bftkit/internal/crypto"
+	"bftkit/internal/types"
+)
+
+// Authenticate produces the authentication material for a broadcast
+// message digest under the environment's scheme (dimension E3): a
+// signature under SchemeSig/SchemeThreshold, or an authenticator vector
+// (one MAC per replica, indexed by replica ID) under SchemeMAC.
+func Authenticate(env Env, d types.Digest) (sig []byte, vec [][]byte) {
+	if env.Scheme() == crypto.SchemeMAC {
+		return nil, env.Signer().AuthVector(d, env.Replicas())
+	}
+	return env.Signer().Sign(d), nil
+}
+
+// VerifyAuth checks the authentication material attached to a message
+// from `from` over digest d, under the environment's scheme.
+func VerifyAuth(env Env, from types.NodeID, d types.Digest, sig []byte, vec [][]byte) bool {
+	if env.Scheme() == crypto.SchemeMAC {
+		idx := int(env.ID())
+		if idx >= len(vec) || vec[idx] == nil {
+			return false
+		}
+		return env.Verifier().VerifyMAC(from, env.ID(), d, vec[idx])
+	}
+	return env.Verifier().VerifySig(from, d, sig)
+}

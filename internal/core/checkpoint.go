@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bftkit/internal/ledger"
+	"bftkit/internal/types"
+)
+
+// CheckpointManager implements the paper's checkpointing stage (P4) as a
+// reusable sub-protocol: periodically snapshot the application, exchange
+// checkpoint messages, declare a checkpoint stable on 2f+1 matching
+// votes, garbage-collect the log below it, and bring in-dark replicas up
+// to date through state transfer. It is decentralized — no leader is
+// involved — exactly as PBFT does it.
+//
+// Protocols embed a manager and delegate: call OnExecuted from their
+// OnExecuted, and offer unrecognized messages to OnMessage (which reports
+// whether it consumed them).
+type CheckpointManager struct {
+	env Env
+
+	// votes[seq][replica] = claimed state hash.
+	votes map[types.SeqNum]map[types.NodeID]types.Digest
+	// expected remembers the hash of a stable checkpoint we are
+	// fetching state for, so a malicious snapshot can be rejected.
+	expected map[types.SeqNum]types.Digest
+	fetching bool
+
+	// StableCount counts checkpoints this replica has stabilized
+	// (experiment X13 reads it).
+	StableCount int
+}
+
+// NewCheckpointManager returns a manager bound to env.
+func NewCheckpointManager(env Env) *CheckpointManager {
+	return &CheckpointManager{
+		env:      env,
+		votes:    make(map[types.SeqNum]map[types.NodeID]types.Digest),
+		expected: make(map[types.SeqNum]types.Digest),
+	}
+}
+
+// Interval returns the configured checkpoint window (0 = disabled).
+func (cm *CheckpointManager) Interval() uint64 { return cm.env.Config().CheckpointInterval }
+
+// OnExecuted must be called after every executed slot. At each window
+// boundary it snapshots the application and broadcasts a checkpoint.
+func (cm *CheckpointManager) OnExecuted(seq types.SeqNum) {
+	iv := cm.Interval()
+	if iv == 0 || uint64(seq)%iv != 0 {
+		return
+	}
+	hash := cm.env.App().Hash()
+	cm.env.Ledger().AddOwnCheckpoint(&ledger.Checkpoint{
+		Seq:       seq,
+		StateHash: hash,
+		Snapshot:  cm.env.App().Snapshot(),
+	})
+	msg := &CheckpointMsg{Seq: seq, StateHash: hash, Replica: cm.env.ID()}
+	msg.Sig = cm.env.Signer().Sign(msg.Digest())
+	cm.recordVote(cm.env.ID(), seq, hash)
+	cm.env.Broadcast(msg)
+}
+
+// OnMessage consumes checkpoint and state-transfer messages, returning
+// true when the message was handled.
+func (cm *CheckpointManager) OnMessage(from types.NodeID, m types.Message) bool {
+	switch mm := m.(type) {
+	case *CheckpointMsg:
+		cm.onCheckpoint(from, mm)
+		return true
+	case *FetchStateMsg:
+		cm.onFetch(from, mm)
+		return true
+	case *StateMsg:
+		cm.onState(from, mm)
+		return true
+	}
+	return false
+}
+
+func (cm *CheckpointManager) onCheckpoint(from types.NodeID, m *CheckpointMsg) {
+	if m.Replica != from {
+		return
+	}
+	if m.Seq <= cm.env.Ledger().LowWater() {
+		return
+	}
+	if !cm.env.Verifier().VerifySig(from, m.Digest(), m.Sig) {
+		return
+	}
+	cm.recordVote(from, m.Seq, m.StateHash)
+}
+
+func (cm *CheckpointManager) recordVote(from types.NodeID, seq types.SeqNum, hash types.Digest) {
+	set := cm.votes[seq]
+	if set == nil {
+		set = make(map[types.NodeID]types.Digest)
+		cm.votes[seq] = set
+	}
+	set[from] = hash
+	cm.maybeStabilize(seq)
+}
+
+func (cm *CheckpointManager) maybeStabilize(seq types.SeqNum) {
+	set := cm.votes[seq]
+	counts := make(map[types.Digest][]types.NodeID)
+	for id, h := range set {
+		counts[h] = append(counts[h], id)
+	}
+	quorum := cm.env.Config().Quorum()
+	for hash, voters := range counts {
+		if len(voters) < quorum {
+			continue
+		}
+		led := cm.env.Ledger()
+		if seq <= led.LowWater() {
+			return
+		}
+		cp := &ledger.Checkpoint{Seq: seq, StateHash: hash, Voters: voters}
+		if own := led.OwnCheckpoint(seq); own != nil && own.StateHash == hash {
+			cp.Snapshot = own.Snapshot
+		}
+		if led.LastExecuted() < seq {
+			// In-dark: the network moved past us (P4's second purpose).
+			// Remember the certified hash and fetch the state from one
+			// of the voters.
+			cm.expected[seq] = hash
+			if !cm.fetching {
+				cm.fetching = true
+				for _, v := range voters {
+					if v != cm.env.ID() {
+						cm.env.Send(v, &FetchStateMsg{Seq: seq})
+						break
+					}
+				}
+			}
+			return
+		}
+		led.SetStable(cp)
+		cm.StableCount++
+		delete(cm.votes, seq)
+		// Drop vote state below the new low-water mark.
+		for s := range cm.votes {
+			if s <= seq {
+				delete(cm.votes, s)
+			}
+		}
+		return
+	}
+}
+
+func (cm *CheckpointManager) onFetch(from types.NodeID, m *FetchStateMsg) {
+	led := cm.env.Ledger()
+	cp := led.OwnCheckpoint(m.Seq)
+	if cp == nil {
+		if latest := led.LatestOwnCheckpoint(); latest != nil && latest.Seq >= m.Seq {
+			cp = latest
+		}
+	}
+	if cp == nil || cp.Snapshot == nil {
+		return
+	}
+	cm.env.Send(from, &StateMsg{
+		Seq:       cp.Seq,
+		StateHash: cp.StateHash,
+		Snapshot:  cp.Snapshot,
+		Entries:   led.CommittedAbove(cp.Seq),
+	})
+}
+
+func (cm *CheckpointManager) onState(from types.NodeID, m *StateMsg) {
+	cm.fetching = false
+	led := cm.env.Ledger()
+	if m.Seq <= led.LastExecuted() {
+		return
+	}
+	// Only install snapshots whose hash was certified by a quorum.
+	want, ok := cm.expected[m.Seq]
+	if !ok || want != m.StateHash {
+		return
+	}
+	if types.DigestBytes(m.Snapshot).IsZero() { // defensive; never true
+		return
+	}
+	cm.env.RollbackSpecAbove(led.LastExecuted())
+	if err := cm.env.App().Restore(m.Snapshot); err != nil {
+		cm.env.Logf("state transfer: bad snapshot from %v: %v", from, err)
+		return
+	}
+	if got := cm.env.App().Hash(); got != m.StateHash {
+		cm.env.Logf("state transfer: hash mismatch from %v", from)
+		return
+	}
+	led.Fastforward(m.Seq)
+	led.SetStable(&ledger.Checkpoint{Seq: m.Seq, StateHash: m.StateHash})
+	cm.StableCount++
+	delete(cm.expected, m.Seq)
+	cm.env.Logf("state transfer: fast-forwarded to seq %d", m.Seq)
+	// Replay the retained suffix the sender shipped along.
+	for _, e := range m.Entries {
+		cm.env.Commit(e.View, e.Seq, e.Batch, e.Proof)
+	}
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bftkit/internal/crypto"
+)
+
+// This file implements §2.3 of the paper: the fourteen design choices,
+// each a one-to-one function mapping a valid point of the design space to
+// another valid point. Applying a choice to a profile that does not meet
+// its preconditions returns an error describing the violated trade-off.
+//
+// The tests in choices_test.go verify the concrete mappings the paper
+// names: Linearize(PBFT) has SBFT/HotStuff's structure, LeaderRotation ∘
+// Linearize(PBFT) matches HotStuff, NonResponsiveRotation(PBFT) matches
+// Tendermint, PhaseReduction(PBFT) matches FaB, SpeculativeExecution(PBFT)
+// matches Zyzzyva, and so on.
+
+// Choice is one executable design choice.
+type Choice struct {
+	ID      int
+	Name    string
+	Summary string
+	Apply   func(Profile) (Profile, error)
+}
+
+// Errors shared by several choices.
+var (
+	ErrNoCliquePhase    = errors.New("choice: input protocol has no quadratic phase to linearize")
+	ErrNotPBFTShape     = errors.New("choice: input must have 3f+1 replicas and 3 ordering phases (one linear, two quadratic)")
+	ErrAlreadyRotating  = errors.New("choice: input already uses a rotating leader")
+	ErrNotLinear        = errors.New("choice: input must be a linear (star topology) protocol")
+	ErrTooFewPhases     = errors.New("choice: input has too few ordering phases to remove two")
+	ErrNotOptimisticAll = errors.New("choice: resilience applies to protocols whose fast quorum is all replicas")
+	ErrAlreadyRobust    = errors.New("choice: input is already robust")
+	ErrAlreadyFair      = errors.New("choice: input already provides order-fairness")
+	ErrNotMAC           = errors.New("choice: input stage is not MAC-authenticated")
+	ErrAlreadySpec      = errors.New("choice: input is already speculative")
+)
+
+func cloneProfile(p Profile) Profile {
+	p.Assumptions = append([]Assumption(nil), p.Assumptions...)
+	p.Timers = append([]Timer(nil), p.Timers...)
+	p.PhaseTopos = append([]Topology(nil), p.PhaseTopos...)
+	return p
+}
+
+func (p *Profile) addAssumption(a Assumption) {
+	if !p.HasAssumption(a) {
+		p.Assumptions = append(p.Assumptions, a)
+	}
+}
+
+func (p *Profile) addTimer(t Timer) {
+	if !p.HasTimer(t) {
+		p.Timers = append(p.Timers, t)
+	}
+}
+
+func countClique(p Profile) int {
+	n := 0
+	for _, t := range p.PhaseTopos {
+		if t == Clique {
+			n++
+		}
+	}
+	return n
+}
+
+// Linearize is Design Choice 1: replace each quadratic phase with two
+// linear phases through a collector, paying phases for message
+// complexity. The output requires (threshold) signatures because the
+// collector must prove it holds a quorum.
+func Linearize(p Profile) (Profile, error) {
+	if countClique(p) == 0 {
+		return Profile{}, ErrNoCliquePhase
+	}
+	out := cloneProfile(p)
+	var topos []Topology
+	for _, t := range out.PhaseTopos {
+		if t == Clique {
+			topos = append(topos, Star, Star)
+		} else {
+			topos = append(topos, t)
+		}
+	}
+	out.PhaseTopos = topos
+	out.Phases = len(topos)
+	out.Topology = Star
+	out.AuthOrdering = crypto.SchemeThreshold
+	out.Name = p.Name + "+linear"
+	out.Description = "DC1 applied: quadratic phases split through a collector"
+	return out, out.Validate()
+}
+
+// PhaseReduction is Design Choice 2: trade replicas for phases — from
+// 3f+1 replicas and 3 phases to 5f+1 replicas and 2 phases with a 4f+1
+// quorum (FaB). The 5f−1 lower bound for two-step consensus is enforced
+// by Profile.Validate.
+func PhaseReduction(p Profile) (Profile, error) {
+	if p.Replicas != Term(3, 1) || p.Phases != 3 || countClique(p) != 2 {
+		return Profile{}, ErrNotPBFTShape
+	}
+	out := cloneProfile(p)
+	out.Replicas = Term(5, 1)
+	out.Quorum = Term(4, 1)
+	out.Phases = 2
+	out.PhaseTopos = []Topology{Star, Clique}
+	out.Name = p.Name + "+fast"
+	out.Description = "DC2 applied: two-phase commitment with 5f+1 replicas"
+	return out, out.Validate()
+}
+
+// LeaderRotation is Design Choice 3: replace the stable leader with a
+// rotating leader, eliminating the view-change stage and adding a
+// quadratic phase (or two linear phases, when the input is linear) so
+// each new leader learns the state of the system.
+func LeaderRotation(p Profile) (Profile, error) {
+	if p.Leader == RotatingLeader {
+		return Profile{}, ErrAlreadyRotating
+	}
+	out := cloneProfile(p)
+	out.Leader = RotatingLeader
+	out.HasViewChange = false
+	if out.Topology == Star || out.Topology == Tree {
+		out.PhaseTopos = append(out.PhaseTopos, Star, Star)
+	} else {
+		out.PhaseTopos = append(out.PhaseTopos, Clique)
+	}
+	out.Phases = len(out.PhaseTopos)
+	out.LoadBalancing = LBRotation
+	if out.AuthOrdering == crypto.SchemeMAC {
+		// A rotating collector must prove quorums: MACs cannot (DC11).
+		out.AuthOrdering = crypto.SchemeSig
+	}
+	out.Name = p.Name + "+rotate"
+	out.Description = "DC3 applied: rotating leader, view change folded into ordering"
+	return out, out.Validate()
+}
+
+// NonResponsiveRotation is Design Choice 4: rotate the leader without
+// adding phases, sacrificing responsiveness — the new leader waits Δ
+// (timer τ5) before proposing, as in Tendermint and Casper.
+func NonResponsiveRotation(p Profile) (Profile, error) {
+	if p.Leader == RotatingLeader {
+		return Profile{}, ErrAlreadyRotating
+	}
+	out := cloneProfile(p)
+	out.Leader = RotatingLeader
+	out.HasViewChange = false
+	out.Responsive = false
+	out.addTimer(TimerViewSync)
+	out.addTimer(TimerQuorum)
+	out.addAssumption(AssumeSynchrony)
+	if out.Strategy == Pessimistic {
+		out.Strategy = Optimistic
+	}
+	out.LoadBalancing = LBRotation
+	out.Name = p.Name + "+nonresp-rotate"
+	out.Description = "DC4 applied: rotating leader that waits Δ instead of adding phases"
+	return out, out.Validate()
+}
+
+// OptimisticReplicaReduction is Design Choice 5: run consensus among
+// 2f+1 active replicas assuming they are all non-faulty (a2), keeping f
+// passive replicas that activate on failure (CheapBFT). n stays 3f+1.
+func OptimisticReplicaReduction(p Profile) (Profile, error) {
+	if !p.ActiveReplicas.IsZero() {
+		return Profile{}, errors.New("choice: input already uses active/passive replication")
+	}
+	out := cloneProfile(p)
+	out.ActiveReplicas = Term(2, 1)
+	out.Strategy = Optimistic
+	out.addAssumption(AssumeHonestBackups)
+	out.addTimer(TimerBackupFault)
+	out.Name = p.Name + "+cheap"
+	out.Description = "DC5 applied: 2f+1 active replicas, f passive"
+	return out, out.Validate()
+}
+
+// OptimisticPhaseReduction is Design Choice 6: in a linear protocol, the
+// collector waits for signatures from all 3f+1 replicas (timer τ3) and
+// skips the equivalent of the quadratic prepare phase (SBFT's fast path).
+func OptimisticPhaseReduction(p Profile) (Profile, error) {
+	if p.Topology != Star {
+		return Profile{}, ErrNotLinear
+	}
+	if p.Phases < 4 {
+		return Profile{}, ErrTooFewPhases
+	}
+	out := cloneProfile(p)
+	out.PhaseTopos = out.PhaseTopos[:len(out.PhaseTopos)-2]
+	out.Phases = len(out.PhaseTopos)
+	out.FastQuorum = Term(3, 1)
+	out.Strategy = Optimistic
+	out.addAssumption(AssumeHonestBackups)
+	out.addTimer(TimerBackupFault)
+	out.Responsive = false // waiting for all replicas is not responsive
+	out.Name = p.Name + "+optfast"
+	out.Description = "DC6 applied: fast path on 3f+1 signatures, fallback on τ3"
+	return out, out.Validate()
+}
+
+// SpeculativePhaseReduction is Design Choice 7: like DC6 but the
+// collector waits only for 2f+1 signatures and replicas execute
+// speculatively, accepting possible rollback (PoE).
+func SpeculativePhaseReduction(p Profile) (Profile, error) {
+	if p.Topology != Star {
+		return Profile{}, ErrNotLinear
+	}
+	if p.Phases < 4 {
+		return Profile{}, ErrTooFewPhases
+	}
+	if p.Speculative {
+		return Profile{}, ErrAlreadySpec
+	}
+	out := cloneProfile(p)
+	out.PhaseTopos = out.PhaseTopos[:len(out.PhaseTopos)-2]
+	out.Phases = len(out.PhaseTopos)
+	out.FastQuorum = Term(2, 1)
+	out.Strategy = Optimistic
+	out.Speculative = true
+	out.addAssumption(AssumeHonestBackups)
+	out.RepliesNeeded = Term(2, 1)
+	out.Name = p.Name + "+spec"
+	out.Description = "DC7 applied: speculative execution on a 2f+1 certificate"
+	return out, out.Validate()
+}
+
+// SpeculativeExecution is Design Choice 8: drop the prepare and commit
+// phases entirely; replicas execute on the leader's order and the client
+// verifies 3f+1 matching speculative replies (Zyzzyva), falling back to
+// collecting commit certificates as a repairer (timer τ1).
+func SpeculativeExecution(p Profile) (Profile, error) {
+	if p.Speculative {
+		return Profile{}, ErrAlreadySpec
+	}
+	if p.Phases < 3 {
+		return Profile{}, ErrTooFewPhases
+	}
+	out := cloneProfile(p)
+	out.PhaseTopos = []Topology{Star}
+	out.Phases = 1
+	out.Topology = Star
+	out.Strategy = Optimistic
+	out.Speculative = true
+	out.addAssumption(AssumeHonestLeader)
+	out.addAssumption(AssumeHonestBackups)
+	out.RepliesNeeded = Term(3, 1)
+	out.ClientRoles |= RoleRepairer
+	out.addTimer(TimerReply)
+	out.Responsive = false // the client waits for all 3f+1 replicas
+	out.Name = p.Name + "+zyzzyva"
+	out.Description = "DC8 applied: speculative execution, client-verified"
+	return out, out.Validate()
+}
+
+// OptimisticConflictFree is Design Choice 9: when requests are
+// conflict-free (a4), drop ordering altogether — the client proposes
+// directly to the replicas, which execute without communicating (Q/U).
+func OptimisticConflictFree(p Profile) (Profile, error) {
+	out := cloneProfile(p)
+	out.PhaseTopos = []Topology{Star}
+	out.Phases = 1
+	out.Topology = Star
+	out.Strategy = Optimistic
+	out.addAssumption(AssumeConflictFree)
+	out.addAssumption(AssumeHonestClients)
+	out.ClientRoles |= RoleProposer
+	out.Leader = StableLeader
+	out.HasViewChange = false
+	out.LoadBalancing = LBMultiLeader // every client drives its own quorum
+	out.Name = p.Name + "+conflictfree"
+	out.Description = "DC9 applied: client-proposed, zero ordering phases"
+	return out, out.Validate()
+}
+
+// Resilience is Design Choice 10: add 2f replicas so an optimistic
+// protocol whose fast quorum was "all replicas" tolerates f failures on
+// its fast path (Zyzzyva5, Q/U's 5f+1 configuration).
+func Resilience(p Profile) (Profile, error) {
+	if p.FastQuorum.IsZero() && !p.Speculative && p.Strategy != Optimistic {
+		return Profile{}, ErrNotOptimisticAll
+	}
+	out := cloneProfile(p)
+	out.Replicas = Term(out.Replicas.Coef+2, out.Replicas.Const)
+	if !out.FastQuorum.IsZero() {
+		out.FastQuorum = Term(out.FastQuorum.Coef+1, out.FastQuorum.Const)
+	}
+	if !out.RepliesNeeded.IsZero() && out.RepliesNeeded.Coef >= 3 {
+		out.RepliesNeeded = Term(out.RepliesNeeded.Coef+1, out.RepliesNeeded.Const)
+	}
+	out.Quorum = Term(out.Quorum.Coef+1, out.Quorum.Const)
+	out.Name = p.Name + "5"
+	out.Description = "DC10 applied: +2f replicas for f extra fast-path failures"
+	return out, out.Validate()
+}
+
+// Authentication is Design Choice 11: upgrade a MAC-authenticated stage
+// to signatures (non-repudiation), optionally compressing quorums of
+// signatures into threshold signatures when a collector exists.
+func Authentication(p Profile) (Profile, error) {
+	if p.AuthOrdering != crypto.SchemeMAC && p.AuthViewChange != crypto.SchemeMAC {
+		return Profile{}, ErrNotMAC
+	}
+	out := cloneProfile(p)
+	if out.AuthOrdering == crypto.SchemeMAC {
+		out.AuthOrdering = crypto.SchemeSig
+	}
+	if out.AuthViewChange == crypto.SchemeMAC {
+		out.AuthViewChange = crypto.SchemeSig
+	}
+	if out.Topology == Star || out.Topology == Tree {
+		out.AuthOrdering = crypto.SchemeThreshold
+	}
+	out.Name = p.Name + "+sig"
+	out.Description = "DC11 applied: signatures for non-repudiation"
+	return out, out.Validate()
+}
+
+// Robustify is Design Choice 12: add Prime-style preordering — replicas
+// locally order and broadcast requests, acknowledge all-to-all, and
+// exchange order vectors — bounding what a malicious leader can do and
+// providing partial fairness.
+func Robustify(p Profile) (Profile, error) {
+	if p.Strategy == Robust {
+		return Profile{}, ErrAlreadyRobust
+	}
+	out := cloneProfile(p)
+	out.Strategy = Robust
+	out.Speculative = false
+	out.Assumptions = nil
+	out.PhaseTopos = append([]Topology{Clique, Clique}, out.PhaseTopos...)
+	out.Phases = len(out.PhaseTopos)
+	out.addTimer(TimerHeartbeat)
+	if out.Fairness == FairnessNone {
+		out.Fairness = FairnessPartial
+	}
+	out.Name = p.Name + "+robust"
+	out.Description = "DC12 applied: preordering + leader performance monitoring"
+	return out, out.Validate()
+}
+
+// Fairify is Design Choice 13: add a Themis-style preordering phase in
+// which clients broadcast requests and replicas ship locally ordered
+// batches to the leader; γ-order-fairness then requires n > 4f/(2γ−1).
+func Fairify(gamma float64) func(Profile) (Profile, error) {
+	return func(p Profile) (Profile, error) {
+		if p.Fairness == FairnessGamma {
+			return Profile{}, ErrAlreadyFair
+		}
+		out := cloneProfile(p)
+		out.PhaseTopos = append([]Topology{Star}, out.PhaseTopos...)
+		out.Phases = len(out.PhaseTopos)
+		out.Fairness = FairnessGamma
+		out.Gamma = gamma
+		out.addTimer(TimerRound)
+		// Raise the replica requirement to satisfy n > 4f/(2γ−1), and
+		// enlarge quorums so they still intersect in an honest replica:
+		// with n = cf+1, a quorum needs ⌈(c+1)/2⌉·f + 1 members.
+		need := 4.0 / (2*gamma - 1)
+		coef := int(need)
+		if float64(coef) < need {
+			coef++
+		}
+		if out.Replicas.Coef < coef {
+			out.Replicas = Term(coef, 1)
+		}
+		qCoef := (out.Replicas.Coef + 2) / 2
+		if out.Quorum.Coef < qCoef {
+			out.Quorum = Term(qCoef, 1)
+		}
+		out.Name = fmt.Sprintf("%s+fair(γ=%.2g)", p.Name, gamma)
+		out.Description = "DC13 applied: γ-fair preordering"
+		return out, out.Validate()
+	}
+}
+
+// TreeLoadBalance is Design Choice 14: organize replicas in a tree with
+// the leader at the root (Kauri), splitting each linear phase into h
+// hops; non-leaf failures force a reconfiguration (assumption a3).
+func TreeLoadBalance(p Profile) (Profile, error) {
+	if p.Topology != Star {
+		return Profile{}, ErrNotLinear
+	}
+	out := cloneProfile(p)
+	for i, t := range out.PhaseTopos {
+		if t == Star {
+			out.PhaseTopos[i] = Tree
+		}
+	}
+	out.Topology = Tree
+	out.LoadBalancing = LBTree
+	out.Strategy = Optimistic
+	out.addAssumption(AssumeHonestInterior)
+	out.Name = p.Name + "+tree"
+	out.Description = "DC14 applied: tree dissemination/aggregation"
+	return out, out.Validate()
+}
+
+// Choices lists all fourteen design choices in paper order. Fairify is
+// instantiated at γ=1 (every correct replica's order respected).
+var Choices = []Choice{
+	{1, "linearization", "split quadratic phases through a collector (SBFT, HotStuff)", Linearize},
+	{2, "phase-reduction", "5f+1 replicas buy a 2-phase commit (FaB)", PhaseReduction},
+	{3, "leader-rotation", "rotate the leader, fold view change into ordering (HotStuff)", LeaderRotation},
+	{4, "nonresponsive-rotation", "rotate without extra phases, wait Δ (Tendermint)", NonResponsiveRotation},
+	{5, "optimistic-replica-reduction", "2f+1 active replicas, f passive (CheapBFT)", OptimisticReplicaReduction},
+	{6, "optimistic-phase-reduction", "fast path on all 3f+1 signatures (SBFT)", OptimisticPhaseReduction},
+	{7, "speculative-phase-reduction", "execute on a 2f+1 certificate, may roll back (PoE)", SpeculativePhaseReduction},
+	{8, "speculative-execution", "execute on the leader's word, client verifies (Zyzzyva)", SpeculativeExecution},
+	{9, "optimistic-conflict-free", "clients propose, replicas execute without ordering (Q/U)", OptimisticConflictFree},
+	{10, "resilience", "+2f replicas tolerate f fast-path failures (Zyzzyva5)", Resilience},
+	{11, "authentication", "MACs → signatures → threshold signatures", Authentication},
+	{12, "robust", "preordering + monitoring against strong adversaries (Prime)", Robustify},
+	{13, "fair", "γ-fair preordering (Themis)", Fairify(1.0)},
+	{14, "tree-load-balancer", "tree topology spreads the leader's load (Kauri)", TreeLoadBalance},
+}
+
+// ChoiceByName finds a choice by its registry name.
+func ChoiceByName(name string) (Choice, bool) {
+	for _, c := range Choices {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Choice{}, false
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bftkit/internal/crypto"
+)
+
+// allProfiles returns every canonical profile in the repository.
+func allProfiles() []Profile {
+	return []Profile{
+		PBFTProfile(), PBFTMACProfile(), HotStuffProfile(), HotStuff2Profile(),
+		TendermintProfile(), SBFTProfile(), ZyzzyvaProfile(), Zyzzyva5Profile(),
+		PoEProfile(), CheapBFTProfile(), FaBProfile(), QUProfile(),
+		PrimeProfile(), ThemisProfile(), KauriProfile(), ChainProfile(),
+		RaftLiteProfile(),
+	}
+}
+
+func TestAllCanonicalProfilesValidate(t *testing.T) {
+	for _, p := range allProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// The tutorial's §2.3 names a concrete example protocol for each design
+// choice. These tests pin the structural mapping: applying the choice to
+// its input produces the example's design-space coordinates.
+
+func TestDC1LinearizeMatchesSBFTStructure(t *testing.T) {
+	out, err := Linearize(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MessageComplexity() != "O(n)" {
+		t.Fatal("linearized protocol must be linear")
+	}
+	if out.Phases != 5 { // 1 + 2×2: each quadratic phase became two linear ones
+		t.Fatalf("phases = %d, want 5", out.Phases)
+	}
+	if out.AuthOrdering != crypto.SchemeThreshold {
+		t.Fatal("collectors require (threshold) signatures")
+	}
+	// The trade-off direction: fewer messages, more phases than PBFT.
+	pbft := PBFTProfile()
+	if out.GoodCaseMessages(16) >= pbft.GoodCaseMessages(16) {
+		t.Fatal("linearization must reduce good-case messages at n=16")
+	}
+	if out.Phases <= pbft.Phases {
+		t.Fatal("linearization must add phases")
+	}
+}
+
+func TestDC1RequiresQuadraticPhase(t *testing.T) {
+	if _, err := Linearize(HotStuffProfile()); !errors.Is(err, ErrNoCliquePhase) {
+		t.Fatalf("linearizing an already-linear protocol: %v", err)
+	}
+}
+
+func TestDC2PhaseReductionMatchesFaB(t *testing.T) {
+	out, err := PhaseReduction(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := FaBProfile()
+	if out.Replicas != fab.Replicas || out.Quorum != fab.Quorum || out.Phases != fab.Phases {
+		t.Fatalf("got n=%s q=%s phases=%d; FaB is n=%s q=%s phases=%d",
+			out.Replicas, out.Quorum, out.Phases, fab.Replicas, fab.Quorum, fab.Phases)
+	}
+	if _, err := PhaseReduction(FaBProfile()); !errors.Is(err, ErrNotPBFTShape) {
+		t.Fatal("phase reduction must require the PBFT shape")
+	}
+}
+
+func TestDC3LeaderRotationMatchesHotStuff(t *testing.T) {
+	lin, err := Linearize(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LeaderRotation(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := HotStuffProfile()
+	if out.Leader != RotatingLeader || out.HasViewChange {
+		t.Fatal("rotation must fold the view-change stage into ordering")
+	}
+	if out.Phases != hs.Phases {
+		t.Fatalf("phases = %d, HotStuff has %d", out.Phases, hs.Phases)
+	}
+	if out.Topology != Star {
+		t.Fatal("linearized rotation stays linear")
+	}
+	if _, err := LeaderRotation(out); !errors.Is(err, ErrAlreadyRotating) {
+		t.Fatal("double rotation must fail")
+	}
+}
+
+func TestDC4NonResponsiveRotationMatchesTendermint(t *testing.T) {
+	out, err := NonResponsiveRotation(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := TendermintProfile()
+	if out.Leader != RotatingLeader || out.Responsive {
+		t.Fatal("DC4 must rotate and sacrifice responsiveness")
+	}
+	if out.Phases != tm.Phases {
+		t.Fatalf("phases = %d; Tendermint has %d (no phases added)", out.Phases, tm.Phases)
+	}
+	if !out.HasTimer(TimerViewSync) {
+		t.Fatal("the Δ wait is timer τ5")
+	}
+	if !out.HasAssumption(AssumeSynchrony) {
+		t.Fatal("waiting Δ assumes synchrony (a6)")
+	}
+}
+
+func TestDC5ReplicaReductionMatchesCheapBFT(t *testing.T) {
+	out, err := OptimisticReplicaReduction(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := CheapBFTProfile()
+	if out.ActiveReplicas != cb.ActiveReplicas {
+		t.Fatalf("active = %s, CheapBFT uses %s", out.ActiveReplicas, cb.ActiveReplicas)
+	}
+	if out.Replicas != Term(3, 1) {
+		t.Fatal("n stays 3f+1 under DC5")
+	}
+	if !out.HasAssumption(AssumeHonestBackups) {
+		t.Fatal("DC5 rests on assumption a2")
+	}
+}
+
+func TestDC6OptimisticPhaseReductionMatchesSBFT(t *testing.T) {
+	lin, _ := Linearize(PBFTProfile())
+	out, err := OptimisticPhaseReduction(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbft := SBFTProfile()
+	if out.Phases != sbft.Phases || out.FastQuorum != sbft.FastQuorum {
+		t.Fatalf("phases=%d fast=%s; SBFT has phases=%d fast=%s",
+			out.Phases, out.FastQuorum, sbft.Phases, sbft.FastQuorum)
+	}
+	if out.Responsive {
+		t.Fatal("waiting for all replicas sacrifices responsiveness")
+	}
+	if !out.HasTimer(TimerBackupFault) {
+		t.Fatal("the fallback trigger is timer τ3")
+	}
+	if _, err := OptimisticPhaseReduction(PBFTProfile()); !errors.Is(err, ErrNotLinear) {
+		t.Fatal("DC6 requires a linear input")
+	}
+}
+
+func TestDC7SpeculativePhaseReductionMatchesPoE(t *testing.T) {
+	lin, _ := Linearize(PBFTProfile())
+	out, err := SpeculativePhaseReduction(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poe := PoEProfile()
+	if !out.Speculative || out.FastQuorum != poe.FastQuorum || out.RepliesNeeded != poe.RepliesNeeded {
+		t.Fatalf("spec=%v fast=%s replies=%s; PoE has fast=%s replies=%s",
+			out.Speculative, out.FastQuorum, out.RepliesNeeded, poe.FastQuorum, poe.RepliesNeeded)
+	}
+}
+
+func TestDC8SpeculativeExecutionMatchesZyzzyva(t *testing.T) {
+	out, err := SpeculativeExecution(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := ZyzzyvaProfile()
+	if out.Phases != z.Phases || out.RepliesNeeded != z.RepliesNeeded || !out.Speculative {
+		t.Fatalf("phases=%d replies=%s spec=%v; Zyzzyva has phases=%d replies=%s",
+			out.Phases, out.RepliesNeeded, out.Speculative, z.Phases, z.RepliesNeeded)
+	}
+	if out.ClientRoles&RoleRepairer == 0 {
+		t.Fatal("the Zyzzyva client is a repairer (P6)")
+	}
+	if !out.HasTimer(TimerReply) {
+		t.Fatal("the client fallback is timer τ1")
+	}
+}
+
+func TestDC9ConflictFreeMatchesQU(t *testing.T) {
+	out, err := OptimisticConflictFree(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Phases != 1 || out.ClientRoles&RoleProposer == 0 {
+		t.Fatal("DC9 drops ordering and makes the client the proposer")
+	}
+	if !out.HasAssumption(AssumeConflictFree) {
+		t.Fatal("DC9 rests on assumption a4")
+	}
+}
+
+func TestDC10ResilienceMatchesZyzzyva5(t *testing.T) {
+	out, err := Resilience(ZyzzyvaProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z5 := Zyzzyva5Profile()
+	if out.Replicas != z5.Replicas || out.RepliesNeeded != z5.RepliesNeeded {
+		t.Fatalf("n=%s replies=%s; Zyzzyva5 has n=%s replies=%s",
+			out.Replicas, out.RepliesNeeded, z5.Replicas, z5.RepliesNeeded)
+	}
+}
+
+func TestDC11AuthenticationUpgrade(t *testing.T) {
+	out, err := Authentication(PBFTMACProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AuthOrdering == crypto.SchemeMAC {
+		t.Fatal("DC11 must replace MACs")
+	}
+	if _, err := Authentication(PBFTProfile()); !errors.Is(err, ErrNotMAC) {
+		t.Fatal("DC11 needs a MAC stage to upgrade")
+	}
+}
+
+func TestDC12RobustMatchesPrime(t *testing.T) {
+	out, err := Robustify(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PrimeProfile()
+	if out.Strategy != Robust || out.Phases != pr.Phases {
+		t.Fatalf("strategy=%v phases=%d; Prime has phases=%d", out.Strategy, out.Phases, pr.Phases)
+	}
+	if out.Fairness != FairnessPartial {
+		t.Fatal("the robust function provides partial fairness")
+	}
+	if _, err := Robustify(out); !errors.Is(err, ErrAlreadyRobust) {
+		t.Fatal("robustifying twice must fail")
+	}
+}
+
+func TestDC13FairMatchesThemis(t *testing.T) {
+	out, err := Fairify(1.0)(PBFTProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ThemisProfile()
+	if out.Fairness != FairnessGamma || out.Replicas != th.Replicas || out.Phases != th.Phases {
+		t.Fatalf("fair=%v n=%s phases=%d; Themis has n=%s phases=%d",
+			out.Fairness, out.Replicas, out.Phases, th.Replicas, th.Phases)
+	}
+	if !out.HasTimer(TimerRound) {
+		t.Fatal("the preordering round closes on timer τ6")
+	}
+	// γ ≤ 0.5 is outside the definition.
+	if _, err := Fairify(0.5)(PBFTProfile()); err == nil {
+		t.Fatal("γ=0.5 must be rejected")
+	}
+}
+
+func TestDC14TreeMatchesKauri(t *testing.T) {
+	lin, _ := Linearize(PBFTProfile())
+	rot, _ := LeaderRotation(lin)
+	out, err := TreeLoadBalance(rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka := KauriProfile()
+	if out.Topology != Tree || out.LoadBalancing != LBTree {
+		t.Fatal("DC14 must organize replicas in a tree")
+	}
+	if !out.HasAssumption(AssumeHonestInterior) {
+		t.Fatal("DC14 rests on assumption a3")
+	}
+	if out.Phases != ka.Phases {
+		t.Fatalf("phases=%d; Kauri has %d", out.Phases, ka.Phases)
+	}
+	if _, err := TreeLoadBalance(PBFTProfile()); !errors.Is(err, ErrNotLinear) {
+		t.Fatal("DC14 requires a linear input")
+	}
+}
+
+func TestChoicesAlwaysProduceValidPoints(t *testing.T) {
+	// §2.3: each design choice maps valid points to valid points. Apply
+	// random sequences of choices to PBFT; whenever a choice succeeds,
+	// its output must validate.
+	f := func(seq []uint8) bool {
+		p := PBFTProfile()
+		for _, raw := range seq {
+			c := Choices[int(raw)%len(Choices)]
+			out, err := c.Apply(p)
+			if err != nil {
+				continue // precondition unmet: fine, skip
+			}
+			if out.Validate() != nil {
+				return false
+			}
+			p = out
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRegistryComplete(t *testing.T) {
+	if len(Choices) != 14 {
+		t.Fatalf("the paper defines 14 design choices; registry has %d", len(Choices))
+	}
+	seen := map[int]bool{}
+	for _, c := range Choices {
+		if c.ID < 1 || c.ID > 14 || seen[c.ID] {
+			t.Fatalf("bad or duplicate choice ID %d", c.ID)
+		}
+		seen[c.ID] = true
+		if _, ok := ChoiceByName(c.Name); !ok {
+			t.Fatalf("choice %q not findable by name", c.Name)
+		}
+	}
+	if _, ok := ChoiceByName("nonsense"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestGoodCaseMessageModel(t *testing.T) {
+	pbft := PBFTProfile()
+	// n=4: star pre-prepare (3) + two clique phases (12 each) = 27.
+	if got := pbft.GoodCaseMessages(4); got != 27 {
+		t.Fatalf("PBFT n=4: %d messages, want 27", got)
+	}
+	hs := HotStuffProfile()
+	if got := hs.GoodCaseMessages(4); got != 21 { // 7 linear phases × 3
+		t.Fatalf("HotStuff n=4: %d, want 21", got)
+	}
+	if pbft.MessageComplexity() != "O(n^2)" || hs.MessageComplexity() != "O(n)" {
+		t.Fatal("complexity labels wrong")
+	}
+}
+
+func TestValidateCatchesBrokenProfiles(t *testing.T) {
+	p := PBFTProfile()
+	p.Replicas = Term(2, 1) // below 3f+1
+	if err := p.Validate(); !errors.Is(err, ErrTooFewReplicas) {
+		t.Fatalf("2f+1 BFT accepted: %v", err)
+	}
+	p = PBFTProfile()
+	p.Quorum = Term(1, 1) // quorums no longer intersect in honest replicas
+	if err := p.Validate(); !errors.Is(err, ErrQuorumIntersection) {
+		t.Fatalf("broken quorum accepted: %v", err)
+	}
+	p = FaBProfile()
+	p.Replicas = Term(4, 1) // two-phase below the 5f−1 bound
+	if err := p.Validate(); !errors.Is(err, ErrTwoPhaseBound) {
+		t.Fatalf("5f−1 lower bound not enforced: %v", err)
+	}
+	p = HotStuffProfile()
+	p.HasViewChange = true
+	if err := p.Validate(); !errors.Is(err, ErrRotatingViewChange) {
+		t.Fatalf("rotating+view-change accepted: %v", err)
+	}
+	p = ThemisProfile()
+	p.Gamma = 0.51
+	if err := p.Validate(); !errors.Is(err, ErrGammaReplicas) {
+		t.Fatalf("γ-replica bound not enforced: %v", err)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := map[LinearTerm]string{
+		Term(3, 1):  "3f+1",
+		Term(5, -1): "5f-1",
+		Term(2, 0):  "2f",
+		Term(0, 4):  "4",
+	}
+	for term, want := range cases {
+		if got := term.String(); got != want {
+			t.Fatalf("%v renders %q, want %q", term, got, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bftkit/internal/crypto"
+	"bftkit/internal/types"
+)
+
+func newTestClient(t *testing.T, opts RequesterOpts) (*Client, *Requester, *fakeDriver, *[]string) {
+	t.Helper()
+	d := newFakeDriver()
+	auth := crypto.NewAuthority(1)
+	proto := NewRequester(opts)
+	var done []string
+	cl := NewClient(types.ClientIDBase, DefaultConfig(4), d, proto, auth, ClientHooks{
+		OnDone: func(_ types.NodeID, _ *types.Request, result []byte, _ time.Duration) {
+			done = append(done, string(result))
+		},
+	})
+	cl.Start()
+	return cl, proto, d, &done
+}
+
+func reply(replica types.NodeID, clientSeq uint64, result string, auth *crypto.Authority) *ReplyMsg {
+	r := &types.Reply{
+		Replica: replica, Client: types.ClientIDBase, ClientSeq: clientSeq,
+		Result: []byte(result),
+	}
+	r.Sig = auth.Signer(replica).Sign(r.Digest())
+	return &ReplyMsg{R: r}
+}
+
+func TestRequesterCompletesOnMatchingQuorum(t *testing.T) {
+	cl, _, d, done := newTestClient(t, RequesterOpts{})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	if len(d.sent) != 1 {
+		t.Fatalf("initial send count %d (want leader only)", len(d.sent))
+	}
+	auth := crypto.NewAuthority(1)
+	cl.Deliver(0, reply(0, 1, "ok", auth))
+	if len(*done) != 0 {
+		t.Fatal("completed on a single reply (f+1 needed)")
+	}
+	// A mismatching reply must not count toward the quorum.
+	cl.Deliver(1, reply(1, 1, "bogus", auth))
+	if len(*done) != 0 {
+		t.Fatal("mismatching reply counted")
+	}
+	cl.Deliver(2, reply(2, 1, "ok", auth))
+	if len(*done) != 1 || (*done)[0] != "ok" {
+		t.Fatalf("done = %v", *done)
+	}
+	// Late replies for the finished request are ignored.
+	cl.Deliver(3, reply(3, 1, "ok", auth))
+	if len(*done) != 1 {
+		t.Fatal("duplicate completion")
+	}
+}
+
+func TestRequesterDuplicateReplicaNotDoubleCounted(t *testing.T) {
+	cl, _, _, done := newTestClient(t, RequesterOpts{})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	auth := crypto.NewAuthority(1)
+	cl.Deliver(0, reply(0, 1, "ok", auth))
+	cl.Deliver(0, reply(0, 1, "ok", auth)) // same replica again
+	if len(*done) != 0 {
+		t.Fatal("one replica's vote counted twice")
+	}
+}
+
+func TestRequesterRetransmitsToAllOnTimeout(t *testing.T) {
+	cl, _, d, _ := newTestClient(t, RequesterOpts{})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	sent := len(d.sent)
+	d.advance(DefaultConfig(4).RequestTimeout + time.Millisecond)
+	// Retransmission goes to every replica (the PBFT fallback that
+	// routes around a faulty leader).
+	if len(d.sent)-sent != 4 {
+		t.Fatalf("retransmitted to %d replicas, want 4", len(d.sent)-sent)
+	}
+}
+
+func TestRequesterSendToAll(t *testing.T) {
+	cl, _, d, _ := newTestClient(t, RequesterOpts{SendToAll: true})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	if len(d.sent) != 4 {
+		t.Fatalf("SendToAll sent %d", len(d.sent))
+	}
+}
+
+func TestRequesterFollowsViewHint(t *testing.T) {
+	cl, _, d, _ := newTestClient(t, RequesterOpts{})
+	auth := crypto.NewAuthority(1)
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	// A reply from view 2 teaches the client the new leader.
+	r := &types.Reply{Replica: 2, Client: types.ClientIDBase, ClientSeq: 1, View: 2, Result: []byte("ok")}
+	r.Sig = auth.Signer(2).Sign(r.Digest())
+	cl.Deliver(2, &ReplyMsg{R: r})
+	cl.Deliver(3, func() *ReplyMsg {
+		rr := &types.Reply{Replica: 3, Client: types.ClientIDBase, ClientSeq: 1, View: 2, Result: []byte("ok")}
+		rr.Sig = auth.Signer(3).Sign(rr.Digest())
+		return &ReplyMsg{R: rr}
+	}())
+	d.sent = nil
+	cl.Submit(&types.Request{ClientSeq: 2, Op: []byte("op2")})
+	if len(d.sent) != 1 || d.sent[0].To != 2 {
+		t.Fatalf("next request went to %v, want the view-2 leader r2", d.sent)
+	}
+}
+
+func TestRequesterVerifiesSignaturesWhenAsked(t *testing.T) {
+	cl, _, _, done := newTestClient(t, RequesterOpts{VerifyReplySigs: true})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	auth := crypto.NewAuthority(1)
+	// A forged reply (signed by the wrong key) must not count.
+	forged := &types.Reply{Replica: 0, Client: types.ClientIDBase, ClientSeq: 1, Result: []byte("ok")}
+	forged.Sig = auth.Signer(3).Sign(forged.Digest())
+	cl.Deliver(0, &ReplyMsg{R: forged})
+	cl.Deliver(1, reply(1, 1, "ok", auth))
+	if len(*done) != 0 {
+		t.Fatal("forged reply counted toward the quorum")
+	}
+	cl.Deliver(2, reply(2, 1, "ok", auth))
+	if len(*done) != 1 {
+		t.Fatal("genuine quorum did not complete")
+	}
+}
+
+func TestClientSignsRequests(t *testing.T) {
+	cl, _, d, _ := newTestClient(t, RequesterOpts{})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	rm := d.sent[0].M.(*RequestMsg)
+	auth := crypto.NewAuthority(1)
+	if !auth.Verifier().VerifySig(types.ClientIDBase, rm.Req.Digest(), rm.Req.Sig) {
+		t.Fatal("request signature invalid")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	name := "test-proto-registry"
+	Register(Registration{
+		Name:       name,
+		Profile:    PBFTProfile(),
+		NewReplica: func(cfg Config) Protocol { return &recorder{} },
+	})
+	reg, ok := Lookup(name)
+	if !ok {
+		t.Fatal("registered protocol not found")
+	}
+	if reg.ClientFor(DefaultConfig(4)) == nil {
+		t.Fatal("default client constructor failed")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() misses the registration")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Registration{Name: name, Profile: PBFTProfile(),
+		NewReplica: func(cfg Config) Protocol { return &recorder{} }})
+}
+
+func TestAuthenticateVerifyHelpers(t *testing.T) {
+	rep, _, _ := newTestReplica(t)
+	d := types.DigestBytes([]byte("payload"))
+	sig, vec := Authenticate(rep, d)
+	if sig == nil || vec != nil {
+		t.Fatal("signature scheme must produce a signature, no vector")
+	}
+	if !VerifyAuth(rep, 0, d, sig, nil) {
+		t.Fatal("self-authenticated digest rejected")
+	}
+	if VerifyAuth(rep, 1, d, sig, nil) {
+		t.Fatal("signature accepted under the wrong identity")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bftkit/internal/ledger"
+	"bftkit/internal/types"
+)
+
+// RequestMsg carries a client request to a replica.
+type RequestMsg struct {
+	Req *types.Request
+}
+
+// Kind implements types.Message.
+func (*RequestMsg) Kind() string { return "REQUEST" }
+
+// ReplyMsg carries a replica's reply back to a client.
+type ReplyMsg struct {
+	R *types.Reply
+}
+
+// Kind implements types.Message.
+func (*ReplyMsg) Kind() string { return "REPLY" }
+
+// ForwardMsg relays a request from a backup to the current leader, the
+// standard liveness mechanism when clients send to the wrong replica.
+type ForwardMsg struct {
+	Req *types.Request
+}
+
+// Kind implements types.Message.
+func (*ForwardMsg) Kind() string { return "FORWARD" }
+
+// CheckpointMsg announces a replica's checkpoint at a sequence number
+// (dimension P4). Shared by every protocol that embeds CheckpointManager.
+type CheckpointMsg struct {
+	Seq       types.SeqNum
+	StateHash types.Digest
+	Replica   types.NodeID
+	Sig       []byte
+}
+
+// Kind implements types.Message.
+func (*CheckpointMsg) Kind() string { return "CHECKPOINT" }
+
+// Digest hashes the checkpoint claim for signing.
+func (m *CheckpointMsg) Digest() types.Digest {
+	var h types.Hasher
+	h.Str("checkpoint").U64(uint64(m.Seq)).Digest(m.StateHash).U64(uint64(m.Replica))
+	return h.Sum()
+}
+
+// FetchStateMsg asks a peer for the snapshot behind a stable checkpoint
+// (state transfer for in-dark replicas).
+type FetchStateMsg struct {
+	Seq types.SeqNum
+}
+
+// Kind implements types.Message.
+func (*FetchStateMsg) Kind() string { return "FETCH-STATE" }
+
+// StateMsg returns a checkpoint snapshot for state transfer.
+type StateMsg struct {
+	Seq       types.SeqNum
+	StateHash types.Digest
+	Snapshot  []byte
+	// Entries are retained committed slots above the checkpoint so the
+	// fetcher can also replay the recent suffix.
+	Entries []*ledger.Entry
+}
+
+// Kind implements types.Message.
+func (*StateMsg) Kind() string { return "STATE" }

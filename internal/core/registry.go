@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registration binds a design-space profile to runnable constructors.
+// Protocol packages register themselves in init(); the harness and the
+// CLIs look protocols up by name.
+type Registration struct {
+	Name    string
+	Profile Profile
+	// NewReplica builds a replica-side protocol instance.
+	NewReplica func(cfg Config) Protocol
+	// NewClient builds the protocol's client. Nil means the generic
+	// requester with the profile's reply threshold.
+	NewClient func(cfg Config) ClientProtocol
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Registration{}
+)
+
+// Register adds a protocol to the global registry. It panics on
+// duplicates or on a profile that fails validation — registration
+// happens in init(), where failing fast is the right behavior.
+func Register(r Registration) {
+	if err := r.Profile.Validate(); err != nil {
+		panic(fmt.Sprintf("core: registering %q with invalid profile: %v", r.Name, err))
+	}
+	if r.NewReplica == nil {
+		panic(fmt.Sprintf("core: registering %q without a replica constructor", r.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate protocol registration %q", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Lookup finds a registered protocol by name.
+func Lookup(name string) (Registration, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns all registered protocol names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClientFor returns the protocol's client constructor, falling back to
+// the generic requester parameterized by the profile.
+func (r Registration) ClientFor(cfg Config) ClientProtocol {
+	if r.NewClient != nil {
+		return r.NewClient(cfg)
+	}
+	p := r.Profile
+	return NewRequester(RequesterOpts{
+		SendToAll: p.Fairness != FairnessNone || p.Strategy == Robust,
+		RepliesNeeded: func(f int) int {
+			if p.RepliesNeeded.IsZero() {
+				return f + 1
+			}
+			return p.RepliesNeeded.Eval(f)
+		},
+	})
+}

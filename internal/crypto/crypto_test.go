@@ -1,0 +1,150 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bftkit/internal/types"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	auth := NewAuthority(1)
+	s := auth.Signer(2)
+	v := auth.Verifier()
+	d := types.DigestBytes([]byte("hello"))
+	sig := s.Sign(d)
+	if !v.VerifySig(2, d, sig) {
+		t.Fatal("own signature must verify")
+	}
+	if v.VerifySig(3, d, sig) {
+		t.Fatal("signature must not verify under another identity")
+	}
+	d2 := types.DigestBytes([]byte("tampered"))
+	if v.VerifySig(2, d2, sig) {
+		t.Fatal("signature must not cover a different digest")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	auth := NewAuthority(7)
+	s := auth.Signer(0)
+	v := auth.Verifier()
+	d := types.DigestBytes([]byte("m"))
+	mac := s.MAC(1, d)
+	if !v.VerifyMAC(0, 1, d, mac) {
+		t.Fatal("MAC must verify between the key pair")
+	}
+	// MAC keys are symmetric per pair: the reverse direction verifies
+	// too — which is precisely why MACs lack non-repudiation (DC11).
+	if !v.VerifyMAC(1, 0, d, mac) {
+		t.Fatal("pairwise MAC keys are symmetric")
+	}
+	if v.VerifyMAC(0, 2, d, mac) {
+		t.Fatal("a third party must not verify the tag")
+	}
+}
+
+func TestAuthVector(t *testing.T) {
+	auth := NewAuthority(7)
+	s := auth.Signer(1)
+	v := auth.Verifier()
+	peers := []types.NodeID{0, 1, 2, 3}
+	d := types.DigestBytes([]byte("vec"))
+	vec := s.AuthVector(d, peers)
+	if vec[1] != nil {
+		t.Fatal("no self-MAC expected")
+	}
+	for _, to := range []types.NodeID{0, 2, 3} {
+		if !v.VerifyMAC(1, to, d, vec[to]) {
+			t.Fatalf("vector entry for %v must verify", to)
+		}
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a1 := NewAuthority(42)
+	a2 := NewAuthority(42)
+	d := types.DigestBytes([]byte("d"))
+	if !a2.Verifier().VerifySig(5, d, a1.Signer(5).Sign(d)) {
+		t.Fatal("same seed must derive the same keys")
+	}
+	a3 := NewAuthority(43)
+	if a3.Verifier().VerifySig(5, d, a1.Signer(5).Sign(d)) {
+		t.Fatal("different seeds must derive different keys")
+	}
+}
+
+func TestCertificateVerify(t *testing.T) {
+	auth := NewAuthority(3)
+	v := auth.Verifier()
+	d := types.DigestBytes([]byte("cert"))
+	cert := &Certificate{Digest: d}
+	for i := 0; i < 3; i++ {
+		cert.Add(types.NodeID(i), auth.Signer(types.NodeID(i)).Sign(d))
+	}
+	if err := cert.Verify(v, 3); err != nil {
+		t.Fatalf("valid certificate rejected: %v", err)
+	}
+	if err := cert.Verify(v, 4); err == nil {
+		t.Fatal("undersized certificate accepted")
+	}
+	// Duplicate signer must be rejected.
+	dup := &Certificate{Digest: d}
+	sig := auth.Signer(0).Sign(d)
+	dup.Add(0, sig)
+	dup.Add(0, sig)
+	dup.Add(1, auth.Signer(1).Sign(d))
+	if err := dup.Verify(v, 3); err == nil {
+		t.Fatal("duplicate signer accepted")
+	}
+	// Forged component must be rejected.
+	forged := &Certificate{Digest: d}
+	forged.Add(0, auth.Signer(0).Sign(d))
+	forged.Add(1, auth.Signer(2).Sign(d)) // wrong identity
+	forged.Add(2, auth.Signer(2).Sign(d))
+	if err := forged.Verify(v, 3); err == nil {
+		t.Fatal("forged certificate accepted")
+	}
+}
+
+func TestCertificateSizeModel(t *testing.T) {
+	d := types.DigestBytes([]byte("x"))
+	lin := &Certificate{Digest: d}
+	thr := &Certificate{Digest: d, Threshold: true}
+	for i := 0; i < 10; i++ {
+		lin.Add(types.NodeID(i), make([]byte, SigSize))
+		thr.Add(types.NodeID(i), make([]byte, SigSize))
+	}
+	if lin.EncodedSize() <= 10*SigSize {
+		t.Fatal("linear certificate must grow with signer count")
+	}
+	if thr.EncodedSize() != SigSize+8 {
+		t.Fatalf("threshold certificate must be constant-size, got %d", thr.EncodedSize())
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	auth := NewAuthority(1)
+	d := types.DigestBytes([]byte("s"))
+	sig := auth.Signer(0).Sign(d)
+	auth.Verifier().VerifySig(0, d, sig)
+	auth.Signer(0).MAC(1, d)
+	s, v, m, _ := auth.Stats.Snapshot()
+	if s != 1 || v != 1 || m != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", s, v, m)
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	auth := NewAuthority(9)
+	v := auth.Verifier()
+	f := func(id uint8, payload []byte) bool {
+		node := types.NodeID(id % 16)
+		d := types.DigestBytes(payload)
+		return v.VerifySig(node, d, auth.Signer(node).Sign(d))
+	}
+	cfg := &quick.Config{MaxCount: 25} // ed25519 ops are not free
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

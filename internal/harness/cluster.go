@@ -1,0 +1,228 @@
+// Package harness assembles deployments on the deterministic simulator,
+// collects the metrics every experiment reports (throughput, latency,
+// per-replica load, view changes, fairness), and audits safety after
+// every run: all honest replicas must have executed byte-identical
+// histories. It is the laboratory in which the paper's trade-off claims
+// are measured.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/crypto"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/sim"
+	"bftkit/internal/types"
+)
+
+// Options configures a simulated deployment.
+type Options struct {
+	// Protocol is the registry name (protocol packages must be imported
+	// for side effects by the caller).
+	Protocol string
+	// N is the replica count. Zero means the profile's minimum for F.
+	N int
+	// F is the fault threshold. Zero derives it from N via the
+	// profile's replica term (or defaults to 1 when both are zero).
+	F int
+	// Clients is the number of client processes (default 1).
+	Clients int
+	// Net is the network model (default DefaultLAN).
+	Net sim.NetConfig
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Tune adjusts the derived config before the cluster is built.
+	Tune func(*core.Config)
+	// MakeReplica, when set, overrides protocol construction for
+	// selected replicas (fault/attack injection: return nil to fall
+	// back to the registered constructor).
+	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
+	// Verbose routes replica traces to the given printf.
+	Verbose func(format string, args ...any)
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	Opts     Options
+	Reg      core.Registration
+	Cfg      core.Config
+	Sched    *sim.Scheduler
+	Net      *sim.Network
+	Auth     *crypto.Authority
+	Replicas []*core.Replica
+	Clients  []*core.Client
+	Apps     []*kvstore.Store
+	Metrics  *Metrics
+
+	// DoneHook, when set, observes every completed request after the
+	// metrics collector (closed-loop workloads submit the next request
+	// from it).
+	DoneHook func(client types.NodeID, req *types.Request, result []byte, at time.Duration)
+
+	clientSeqs []uint64
+}
+
+type nodeDriver struct {
+	id types.NodeID
+	c  *Cluster
+}
+
+func (d nodeDriver) Now() time.Duration { return d.c.Sched.Now() }
+func (d nodeDriver) Rand() *rand.Rand   { return d.c.Sched.Rand() }
+func (d nodeDriver) Send(from, to types.NodeID, m types.Message) {
+	d.c.Net.Send(from, to, m)
+}
+func (d nodeDriver) After(t time.Duration, fn func()) func() {
+	timer := d.c.Sched.After(t, fn)
+	return timer.Stop
+}
+
+// NewCluster builds a deployment. It panics on unknown protocols or
+// invalid sizing — harness misuse is a programming error in a test or
+// bench, not a runtime condition.
+func NewCluster(opts Options) *Cluster {
+	reg, ok := core.Lookup(opts.Protocol)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown protocol %q (missing import?)", opts.Protocol))
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Clients == 0 {
+		opts.Clients = 1
+	}
+	if opts.Net == (sim.NetConfig{}) {
+		opts.Net = sim.DefaultLAN()
+	}
+
+	f := opts.F
+	n := opts.N
+	switch {
+	case n == 0 && f == 0:
+		f = 1
+		n = reg.Profile.MinReplicas(f)
+	case n == 0:
+		n = reg.Profile.MinReplicas(f)
+	case f == 0:
+		// Largest f the profile tolerates at this n.
+		for ff := 1; reg.Profile.MinReplicas(ff) <= n; ff++ {
+			f = ff
+		}
+		if f == 0 {
+			panic(fmt.Sprintf("harness: %d replicas cannot tolerate any fault under %s", n, reg.Profile.Replicas))
+		}
+	}
+	if n < reg.Profile.MinReplicas(f) {
+		panic(fmt.Sprintf("harness: %s needs n >= %d for f=%d, got %d",
+			opts.Protocol, reg.Profile.MinReplicas(f), f, n))
+	}
+
+	cfg := core.DefaultConfig(n)
+	cfg.F = f
+	cfg.Scheme = reg.Profile.AuthOrdering
+	if opts.Tune != nil {
+		opts.Tune(&cfg)
+	}
+
+	c := &Cluster{
+		Opts:    opts,
+		Reg:     reg,
+		Cfg:     cfg,
+		Sched:   sim.NewScheduler(opts.Seed),
+		Auth:    crypto.NewAuthority(opts.Seed),
+		Metrics: NewMetrics(),
+	}
+	c.Net = sim.NewNetwork(c.Sched, opts.Net)
+
+	hooks := core.Hooks{
+		OnCommit:     c.Metrics.onCommit,
+		OnExecute:    c.Metrics.onExecute,
+		OnViewChange: c.Metrics.onViewChange,
+		OnViolation:  c.Metrics.onViolation,
+		Logf:         opts.Verbose,
+	}
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		app := kvstore.New()
+		var proto core.Protocol
+		if opts.MakeReplica != nil {
+			proto = opts.MakeReplica(id, cfg)
+		}
+		if proto == nil {
+			proto = reg.NewReplica(cfg)
+		}
+		rep := core.NewReplica(id, cfg, nodeDriver{id, c}, proto, app, c.Auth, hooks)
+		c.Apps = append(c.Apps, app)
+		c.Replicas = append(c.Replicas, rep)
+		c.Net.Register(id, rep)
+	}
+	chooks := core.ClientHooks{
+		OnDone: func(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
+			c.Metrics.onDone(id, req, result, at)
+			if c.DoneHook != nil {
+				c.DoneHook(id, req, result, at)
+			}
+		},
+		Logf: opts.Verbose,
+	}
+	for i := 0; i < opts.Clients; i++ {
+		id := types.ClientIDBase + types.NodeID(i)
+		cl := core.NewClient(id, cfg, nodeDriver{id, c}, reg.ClientFor(cfg), c.Auth, chooks)
+		c.Clients = append(c.Clients, cl)
+		c.Net.Register(id, cl)
+	}
+	c.clientSeqs = make([]uint64, opts.Clients)
+	return c
+}
+
+// Start initializes all replicas and clients.
+func (c *Cluster) Start() {
+	for _, r := range c.Replicas {
+		r.Start()
+	}
+	for _, cl := range c.Clients {
+		cl.Start()
+	}
+}
+
+// Submit issues one operation from client i and returns the request.
+func (c *Cluster) Submit(i int, op []byte) *types.Request {
+	c.clientSeqs[i]++
+	req := &types.Request{
+		ClientSeq:   c.clientSeqs[i],
+		Op:          op,
+		ArrivalHint: int64(c.Sched.Now()),
+	}
+	// Client IDs are assigned in order, so reconstruct it here for the
+	// metrics key before the client runtime stamps the request.
+	req.Client = types.ClientIDBase + types.NodeID(i)
+	c.Metrics.onSubmit(req, c.Sched.Now())
+	c.Clients[i].Submit(req)
+	return req
+}
+
+// Run advances virtual time by d.
+func (c *Cluster) Run(d time.Duration) { c.Sched.Run(c.Sched.Now() + d) }
+
+// RunUntilIdle drains all pending events up to an absolute time cap.
+func (c *Cluster) RunUntilIdle(cap time.Duration) { c.Sched.RunUntilIdle(cap) }
+
+// Crash fails replica id at the network level and stops its timers.
+func (c *Cluster) Crash(id types.NodeID) {
+	c.Net.Crash(id)
+	c.Replicas[id].Stop()
+}
+
+// Audit verifies the safety invariants across all currently honest
+// replicas; failed is the set excluded from the check (crashed or
+// Byzantine). It returns an error describing the first violation.
+func (c *Cluster) Audit(failed ...types.NodeID) error {
+	skip := make(map[types.NodeID]bool, len(failed))
+	for _, id := range failed {
+		skip[id] = true
+	}
+	return c.Metrics.AuditSafety(func(id types.NodeID) bool { return !skip[id] })
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	_ "bftkit/internal/protocols/pbft" // registers the protocol the cluster tests use
+	"bftkit/internal/types"
+)
+
+func rec(seq types.SeqNum, tag byte) ExecRecord {
+	return ExecRecord{Seq: seq, Digest: types.DigestBytes([]byte{tag})}
+}
+
+func TestAuditDetectsDivergence(t *testing.T) {
+	m := NewMetrics()
+	m.execOrder[0] = []ExecRecord{rec(1, 'a'), rec(2, 'b')}
+	m.execOrder[1] = []ExecRecord{rec(1, 'a'), rec(2, 'b')}
+	m.execOrder[2] = []ExecRecord{rec(1, 'a'), rec(2, 'X')} // diverges
+	all := func(types.NodeID) bool { return true }
+	if err := m.AuditSafety(all); err == nil {
+		t.Fatal("divergence not detected")
+	}
+	// Excluding the divergent replica clears the audit.
+	honest := func(id types.NodeID) bool { return id != 2 }
+	if err := m.AuditSafety(honest); err != nil {
+		t.Fatalf("audit of honest subset failed: %v", err)
+	}
+}
+
+func TestAuditAcceptsPrefixes(t *testing.T) {
+	m := NewMetrics()
+	m.execOrder[0] = []ExecRecord{rec(1, 'a'), rec(2, 'b'), rec(3, 'c')}
+	m.execOrder[1] = []ExecRecord{rec(1, 'a')} // lagging is fine
+	if err := m.AuditSafety(func(types.NodeID) bool { return true }); err != nil {
+		t.Fatalf("prefix divergence false positive: %v", err)
+	}
+}
+
+func TestAuditSurfacesViolations(t *testing.T) {
+	m := NewMetrics()
+	m.onViolation(1, errTest)
+	if err := m.AuditSafety(func(types.NodeID) bool { return true }); err == nil {
+		t.Fatal("runtime violation not surfaced by the audit")
+	}
+}
+
+var errTest = &auditErr{}
+
+type auditErr struct{}
+
+func (*auditErr) Error() string { return "test violation" }
+
+func TestLatencyPercentiles(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Latencies = append(m.Latencies, time.Duration(i)*time.Millisecond)
+	}
+	if p := m.LatencyPercentile(50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := m.LatencyPercentile(99); p < 98*time.Millisecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	if mean := m.MeanLatency(); mean != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	empty := NewMetrics()
+	if empty.LatencyPercentile(50) != 0 || empty.MeanLatency() != 0 {
+		t.Fatal("empty metrics must not panic or fabricate values")
+	}
+}
+
+func TestFairnessViolationCounting(t *testing.T) {
+	m := NewMetrics()
+	k := func(i uint64) types.RequestKey {
+		return types.RequestKey{Client: types.ClientIDBase, ClientSeq: i}
+	}
+	// Arrival order 1,2,3 (10ms apart); commit order 2,1,3.
+	m.arrival[k(1)] = 0
+	m.arrival[k(2)] = int64(10 * time.Millisecond)
+	m.arrival[k(3)] = int64(20 * time.Millisecond)
+	m.CommitOrder = []types.RequestKey{k(2), k(1), k(3)}
+	v, pairs := m.FairnessViolations(time.Millisecond)
+	if pairs != 3 {
+		t.Fatalf("pairs = %d, want 3", pairs)
+	}
+	if v != 1 { // only (1,2) inverted
+		t.Fatalf("violations = %d, want 1", v)
+	}
+	// With a margin wider than the arrival gaps, no pair is measurable.
+	if _, pairs := m.FairnessViolations(time.Second); pairs != 0 {
+		t.Fatalf("margin not honored: %d pairs", pairs)
+	}
+}
+
+func TestThroughputWindow(t *testing.T) {
+	m := NewMetrics()
+	m.MeasureFrom = time.Second
+	m.Latencies = []time.Duration{1, 2, 3} // three completions counted
+	if tput := m.Throughput(2 * time.Second); tput != 3 {
+		t.Fatalf("throughput = %v, want 3 req/s over a 1s window", tput)
+	}
+	if tput := m.Throughput(time.Second); tput != 0 {
+		t.Fatalf("empty window throughput = %v", tput)
+	}
+}
+
+func TestClusterSizing(t *testing.T) {
+	// F-only sizing derives the minimum n from the profile.
+	c := NewCluster(Options{Protocol: "pbft", F: 2})
+	if c.Cfg.N != 7 || c.Cfg.F != 2 {
+		t.Fatalf("sizing n=%d f=%d", c.Cfg.N, c.Cfg.F)
+	}
+	// N-only sizing derives the largest tolerable f.
+	c = NewCluster(Options{Protocol: "pbft", N: 10})
+	if c.Cfg.F != 3 {
+		t.Fatalf("derived f=%d for n=10", c.Cfg.F)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized cluster accepted")
+		}
+	}()
+	NewCluster(Options{Protocol: "pbft", N: 4, F: 2})
+}
+
+func TestDeterministicClusters(t *testing.T) {
+	run := func() (int, time.Duration) {
+		c := NewCluster(Options{Protocol: "pbft", N: 4, Clients: 2, Seed: 77})
+		c.Start()
+		c.ClosedLoop(10, func(cl, k int) []byte {
+			return []byte{0} // an (invalid) op still exercises the path deterministically
+		})
+		c.RunUntilIdle(30 * time.Second)
+		return c.Metrics.Completed, c.Sched.Now()
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Fatalf("same seed diverged: (%d,%v) vs (%d,%v)", c1, t1, c2, t2)
+	}
+}
+
+func TestZipfOpsSkewAndDeterminism(t *testing.T) {
+	gen1 := ZipfOps(5, 100, []byte("v"))
+	gen2 := ZipfOps(5, 100, []byte("v"))
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		a := gen1(0, i)
+		b := gen2(0, i)
+		if string(a) != string(b) {
+			t.Fatal("same seed produced different workloads")
+		}
+		counts[string(a)]++
+	}
+	// Zipf: the most popular key dominates.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 150 {
+		t.Fatalf("hottest key hit %d of 1000; not Zipf-shaped", max)
+	}
+}

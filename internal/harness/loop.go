@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bftkit/internal/kvstore"
+	"bftkit/internal/types"
+)
+
+// ClosedLoop drives every client in a closed loop: each client keeps
+// exactly one request outstanding and submits the next one the moment the
+// previous completes, until it has issued perClient requests. nextOp
+// produces the k-th operation (1-based) for a client index. Call Start
+// first, then a Run variant to advance time.
+func (c *Cluster) ClosedLoop(perClient int, nextOp func(client, k int) []byte) {
+	issued := make([]int, len(c.Clients))
+	c.DoneHook = func(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
+		i := int(id - types.ClientIDBase)
+		if issued[i] < perClient {
+			issued[i]++
+			c.Submit(i, nextOp(i, issued[i]))
+		}
+	}
+	for i := range c.Clients {
+		if perClient > 0 {
+			issued[i] = 1
+			c.Submit(i, nextOp(i, 1))
+		}
+	}
+}
+
+// OpenLoop submits requests at a fixed per-client interval regardless of
+// completions, for total requests per client (an open-loop arrival
+// process; fairness and robustness experiments use it).
+func (c *Cluster) OpenLoop(perClient int, interval time.Duration, nextOp func(client, k int) []byte) {
+	for i := range c.Clients {
+		i := i
+		for k := 1; k <= perClient; k++ {
+			k := k
+			c.Sched.At(time.Duration(k-1)*interval, func() {
+				c.Submit(i, nextOp(i, k))
+			})
+		}
+	}
+}
+
+// AddDoneObserver chains an observer onto the current DoneHook (which
+// ClosedLoop/OpenLoop may already occupy), delivering each completion's
+// virtual timestamp. Call after installing the workload.
+func (c *Cluster) AddDoneObserver(fn func(at time.Duration)) {
+	prev := c.DoneHook
+	c.DoneHook = func(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
+		if prev != nil {
+			prev(id, req, result, at)
+		}
+		fn(at)
+	}
+}
+
+// ZipfOps returns an op generator with Zipfian key skew over keyspace
+// keys (s=1.1): a standard contended-workload shape for the conflict-rate
+// experiments. The generator is seeded independently of the cluster so
+// workloads are reproducible on their own.
+func ZipfOps(seed int64, keyspace int, value []byte) func(client, k int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(keyspace-1))
+	return func(client, k int) []byte {
+		return kvstore.Put(fmt.Sprintf("zipf-%d", zipf.Uint64()), value)
+	}
+}

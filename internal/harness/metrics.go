@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+// ExecRecord is one executed request in one replica's history, in
+// execution order. The safety auditor compares these across replicas.
+type ExecRecord struct {
+	Seq    types.SeqNum
+	Digest types.Digest
+}
+
+// Metrics collects everything the experiments report. It is driven by
+// runtime hooks; on the simulator all callbacks are single-threaded.
+type Metrics struct {
+	// Client-side.
+	Submitted   int
+	Completed   int
+	submitTimes map[types.RequestKey]time.Duration
+	Latencies   []time.Duration
+	// DoneOrder records request completion order for fairness analysis.
+	DoneOrder []types.RequestKey
+
+	// Replica-side.
+	execOrder   map[types.NodeID][]ExecRecord
+	ExecCount   map[types.NodeID]int
+	CommitCount map[types.NodeID]int
+	// FirstCommit records when each (seq) first committed anywhere —
+	// used for commit-latency measurements independent of clients.
+	FirstCommit map[types.SeqNum]time.Duration
+	// CommitOrder records, from replica 0's execution stream, the
+	// global order requests were sequenced in (fairness ground truth).
+	CommitOrder []types.RequestKey
+	arrival     map[types.RequestKey]int64
+
+	ViewChanges map[types.NodeID][]types.View
+	Violations  []error
+
+	// MeasureFrom gates throughput/latency collection so warmup can be
+	// excluded; zero collects from the start.
+	MeasureFrom time.Duration
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		submitTimes: make(map[types.RequestKey]time.Duration),
+		execOrder:   make(map[types.NodeID][]ExecRecord),
+		ExecCount:   make(map[types.NodeID]int),
+		CommitCount: make(map[types.NodeID]int),
+		FirstCommit: make(map[types.SeqNum]time.Duration),
+		arrival:     make(map[types.RequestKey]int64),
+		ViewChanges: make(map[types.NodeID][]types.View),
+	}
+}
+
+func (m *Metrics) onSubmit(req *types.Request, at time.Duration) {
+	m.Submitted++
+	m.submitTimes[req.Key()] = at
+	m.arrival[req.Key()] = req.ArrivalHint
+}
+
+func (m *Metrics) onDone(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
+	m.Completed++
+	m.DoneOrder = append(m.DoneOrder, req.Key())
+	if at < m.MeasureFrom {
+		return
+	}
+	if t0, ok := m.submitTimes[req.Key()]; ok {
+		m.Latencies = append(m.Latencies, at-t0)
+	}
+}
+
+func (m *Metrics) onCommit(id types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, proof *types.CommitProof, at time.Duration) {
+	m.CommitCount[id]++
+	if _, ok := m.FirstCommit[seq]; !ok {
+		m.FirstCommit[seq] = at
+	}
+}
+
+func (m *Metrics) onExecute(id types.NodeID, seq types.SeqNum, b *types.Batch, results [][]byte, at time.Duration) {
+	m.ExecCount[id]++
+	m.execOrder[id] = append(m.execOrder[id], ExecRecord{Seq: seq, Digest: b.Digest()})
+	if id == 0 {
+		for _, r := range b.Requests {
+			m.CommitOrder = append(m.CommitOrder, r.Key())
+		}
+	}
+}
+
+func (m *Metrics) onViewChange(id types.NodeID, v types.View, at time.Duration) {
+	m.ViewChanges[id] = append(m.ViewChanges[id], v)
+}
+
+func (m *Metrics) onViolation(id types.NodeID, err error) {
+	m.Violations = append(m.Violations, fmt.Errorf("replica %v: %w", id, err))
+}
+
+// ExecOrder returns one replica's execution history.
+func (m *Metrics) ExecOrder(id types.NodeID) []ExecRecord { return m.execOrder[id] }
+
+// AuditSafety checks the fundamental SMR invariant: no two honest
+// replicas executed different batches at the same sequence number, and no
+// runtime-level violation (conflicting commit) was recorded. Comparison
+// is by sequence number, not by position: a replica that skipped slots
+// via checkpoint state transfer has gaps in its executed positions but
+// must still agree on every slot it did execute. honest selects the
+// replicas to audit.
+func (m *Metrics) AuditSafety(honest func(types.NodeID) bool) error {
+	if len(m.Violations) > 0 {
+		return m.Violations[0]
+	}
+	bySeq := make(map[types.SeqNum]types.Digest)
+	attributed := make(map[types.SeqNum]types.NodeID)
+	ids := make([]types.NodeID, 0, len(m.execOrder))
+	for id := range m.execOrder {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !honest(id) {
+			continue
+		}
+		for _, rec := range m.execOrder[id] {
+			if prev, ok := bySeq[rec.Seq]; ok {
+				if prev != rec.Digest {
+					return fmt.Errorf("safety: replicas %v and %v executed different batches at seq %d: %v vs %v",
+						attributed[rec.Seq], id, rec.Seq, prev, rec.Digest)
+				}
+				continue
+			}
+			bySeq[rec.Seq] = rec.Digest
+			attributed[rec.Seq] = id
+		}
+	}
+	return nil
+}
+
+// Throughput returns completed requests per second of virtual time over
+// the window [MeasureFrom, until].
+func (m *Metrics) Throughput(until time.Duration) float64 {
+	window := until - m.MeasureFrom
+	if window <= 0 {
+		return 0
+	}
+	return float64(len(m.Latencies)) / window.Seconds()
+}
+
+// LatencyPercentile returns the p-th percentile (0..100) of completed
+// request latencies.
+func (m *Metrics) LatencyPercentile(p float64) time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), m.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// MeanLatency returns the average completed request latency.
+func (m *Metrics) MeanLatency() time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range m.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(m.Latencies))
+}
+
+// FairnessViolations counts ordered pairs (a, b) where a was submitted
+// before b (by ground-truth arrival hints, with a margin) yet committed
+// after b. The margin excludes near-simultaneous submissions the
+// fairness definition does not constrain.
+func (m *Metrics) FairnessViolations(margin time.Duration) (violations, pairs int) {
+	pos := make(map[types.RequestKey]int, len(m.CommitOrder))
+	for i, k := range m.CommitOrder {
+		pos[k] = i
+	}
+	keys := make([]types.RequestKey, 0, len(pos))
+	for k := range pos {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m.arrival[keys[i]] < m.arrival[keys[j]] })
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if m.arrival[keys[j]]-m.arrival[keys[i]] < int64(margin) {
+				continue
+			}
+			pairs++
+			if pos[keys[i]] > pos[keys[j]] {
+				violations++
+			}
+		}
+	}
+	return violations, pairs
+}

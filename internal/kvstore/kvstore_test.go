@@ -1,0 +1,269 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	ops := []*Op{
+		{Code: OpGet, Key: "k"},
+		{Code: OpPut, Key: "k", Value: []byte("v")},
+		{Code: OpDelete, Key: "k"},
+		{Code: OpAdd, Key: "k", Delta: -42},
+		{Code: OpCAS, Key: "k", Expected: []byte("old"), Value: []byte("new")},
+		{Code: OpNoop},
+	}
+	for _, op := range ops {
+		got, err := Decode(op.Encode())
+		if err != nil {
+			t.Fatalf("decode %v: %v", op.Code, err)
+		}
+		if got.Code != op.Code || got.Key != op.Key || !bytes.Equal(got.Value, op.Value) ||
+			!bytes.Equal(got.Expected, op.Expected) || got.Delta != op.Delta {
+			t.Fatalf("round trip mismatch: %+v vs %+v", op, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{nil, {}, {99}, {byte(OpPut), 0, 0, 0, 5, 'a'}} {
+		if _, err := Decode(raw); err == nil {
+			t.Fatalf("garbage %v decoded", raw)
+		}
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	s := New()
+	if got := s.Apply(Put("a", []byte("1"))); !bytes.Equal(got, ResultOK) {
+		t.Fatalf("put: %q", got)
+	}
+	if got := s.Apply(Get("a")); !bytes.Equal(got, []byte("1")) {
+		t.Fatalf("get: %q", got)
+	}
+	if got := s.Apply(Get("missing")); !bytes.Equal(got, ResultNotFound) {
+		t.Fatalf("missing get: %q", got)
+	}
+	if got := s.Apply(Add("ctr", 5)); binary.BigEndian.Uint64(got) != 5 {
+		t.Fatalf("add: %v", got)
+	}
+	if got := s.Apply(Add("ctr", -2)); binary.BigEndian.Uint64(got) != 3 {
+		t.Fatalf("add: %v", got)
+	}
+	if got := s.Apply(CAS("a", []byte("1"), []byte("2"))); !bytes.Equal(got, ResultOK) {
+		t.Fatalf("cas: %q", got)
+	}
+	if got := s.Apply(CAS("a", []byte("1"), []byte("3"))); !bytes.Equal(got, ResultCASFail) {
+		t.Fatalf("stale cas: %q", got)
+	}
+	s.Apply(Delete("a"))
+	if _, ok := s.GetValue("a"); ok {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestDeterministicHash(t *testing.T) {
+	a, b := New(), New()
+	// Apply the same ops in the same order; interleave keys so map
+	// iteration order would differ if it leaked.
+	for i := 0; i < 100; i++ {
+		op := Put(string(rune('a'+i%7))+"x", []byte{byte(i)})
+		a.Apply(op)
+		b.Apply(op)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same history, different hash")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.Apply(Put(string(rune('a'+i)), []byte{byte(i), byte(i + 1)}))
+	}
+	snap := s.Snapshot()
+	r := New()
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.Hash() != s.Hash() {
+		t.Fatal("restore does not reproduce the state hash")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if err := New().Restore([]byte{1, 2}); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestSpecApplyRollbackIdentity(t *testing.T) {
+	// Property: apply-then-rollback is the identity on the state hash.
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		for i := 0; i < 20; i++ {
+			s.Apply(Put(key(rng), val(rng)))
+		}
+		before := s.Hash()
+		depth := s.SpecDepth()
+		for i := 0; i < int(nops%32); i++ {
+			s.SpecApply(randomOp(rng))
+		}
+		s.Rollback(depth)
+		return s.Hash() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromoteMakesSpeculationPermanent(t *testing.T) {
+	s := New()
+	s.SpecApply(Put("x", []byte("1")))
+	s.SpecApply(Put("y", []byte("2")))
+	s.Promote(1) // x becomes permanent
+	s.Rollback(0)
+	if _, ok := s.GetValue("x"); !ok {
+		t.Fatal("promoted write rolled back")
+	}
+	if _, ok := s.GetValue("y"); ok {
+		t.Fatal("unpromoted write survived rollback")
+	}
+}
+
+func TestRollbackPartial(t *testing.T) {
+	s := New()
+	s.Apply(Put("k", []byte("committed")))
+	_, d1 := s.SpecApply(Put("k", []byte("spec1")))
+	s.SpecApply(Put("k", []byte("spec2")))
+	s.Rollback(d1)
+	if v, _ := s.GetValue("k"); !bytes.Equal(v, []byte("spec1")) {
+		t.Fatalf("partial rollback landed on %q", v)
+	}
+	s.Rollback(0)
+	if v, _ := s.GetValue("k"); !bytes.Equal(v, []byte("committed")) {
+		t.Fatalf("full rollback landed on %q", v)
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	cases := []struct {
+		a, b []byte
+		want bool
+	}{
+		{Put("x", nil), Put("x", nil), true},
+		{Put("x", nil), Get("x"), true},
+		{Get("x"), Get("x"), false},
+		{Put("x", nil), Put("y", nil), false},
+		{CAS("x", nil, nil), Put("x", nil), true},
+		{Add("x", 1), Delete("x"), true},
+		{Noop(), Put("x", nil), false},
+	}
+	for i, c := range cases {
+		if got := Conflicts(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: Conflicts = %v, want %v", i, got, c.want)
+		}
+		if got := Conflicts(c.b, c.a); got != c.want {
+			t.Fatalf("case %d reversed: Conflicts = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestKeys(t *testing.T) {
+	r, w, err := Keys(CAS("k", nil, nil))
+	if err != nil || len(r) != 1 || len(w) != 1 {
+		t.Fatalf("cas keys: %v %v %v", r, w, err)
+	}
+	r, w, _ = Keys(Get("k"))
+	if len(r) != 1 || len(w) != 0 {
+		t.Fatalf("get keys: %v %v", r, w)
+	}
+}
+
+func key(rng *rand.Rand) string { return string(rune('a' + rng.Intn(10))) }
+func val(rng *rand.Rand) []byte { return []byte{byte(rng.Intn(256))} }
+
+func randomOp(rng *rand.Rand) []byte {
+	switch rng.Intn(5) {
+	case 0:
+		return Put(key(rng), val(rng))
+	case 1:
+		return Delete(key(rng))
+	case 2:
+		return Add(key(rng), int64(rng.Intn(10)-5))
+	case 3:
+		return CAS(key(rng), val(rng), val(rng))
+	default:
+		return Get(key(rng))
+	}
+}
+
+// TestGoldenModelEquivalence drives the store and a plain map with the
+// same random operation sequence and compares every result — the
+// deterministic-state-machine contract, property-tested.
+func TestGoldenModelEquivalence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		model := make(map[string][]byte)
+		for i := 0; i < int(n); i++ {
+			op, _ := Decode(randomOp(rng))
+			got := s.Apply(op.Encode())
+			switch op.Code {
+			case OpGet:
+				want, ok := model[op.Key]
+				if !ok {
+					want = ResultNotFound
+				}
+				if !bytes.Equal(got, want) {
+					return false
+				}
+			case OpPut:
+				model[op.Key] = append([]byte(nil), op.Value...)
+			case OpDelete:
+				delete(model, op.Key)
+			case OpAdd:
+				cur := int64(0)
+				if v, ok := model[op.Key]; ok && len(v) == 8 {
+					cur = int64(binary.BigEndian.Uint64(v))
+				}
+				cur += op.Delta
+				b := make([]byte, 8)
+				binary.BigEndian.PutUint64(b, uint64(cur))
+				model[op.Key] = b
+				if !bytes.Equal(got, b) {
+					return false
+				}
+			case OpCAS:
+				cur, ok := model[op.Key]
+				if (ok && bytes.Equal(cur, op.Expected)) || (!ok && len(op.Expected) == 0) {
+					model[op.Key] = append([]byte(nil), op.Value...)
+					if !bytes.Equal(got, ResultOK) {
+						return false
+					}
+				} else if !bytes.Equal(got, ResultCASFail) {
+					return false
+				}
+			}
+		}
+		// Final states must coincide.
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s.GetValue(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,523 @@
+// Package chainrepl implements a Chain-style protocol in the spirit of
+// Aliph/Chain [31]: the chain communication topology of dimension E2.
+// Replicas form a pipeline; the head orders client requests and each
+// replica forwards down the chain, so every replica sends and receives
+// exactly one message per slot — the minimal per-node load of any
+// topology, bought with n sequential hops of latency and the optimistic
+// assumptions that replicas and clients are honest (a2, a5).
+//
+// The tail closes a slot: it broadcasts a signed commit notice (and the
+// client's reply), which all replicas adopt. When the chain stalls (a
+// crashed member), the client's timeout triggers a PANIC broadcast; the
+// replicas then reconfigure: view v excludes replica (v−1) mod n from the
+// chain, so repeated panics rotate the exclusion until the dead member is
+// out — the Abstract framework's "switch to the next instance",
+// compressed. Byzantine members are outside this fallback's scope (Chain
+// switches to a full BFT protocol for that; our deployments pair it with
+// PBFT in the examples), which is exactly the optimism/fragility
+// trade-off the paper assigns to chain topologies.
+package chainrepl
+
+import (
+	"bftkit/internal/core"
+	"bftkit/internal/types"
+)
+
+// Timer names.
+const (
+	timerProgress = "progress"
+)
+
+// ChainMsg carries a slot down the chain, accumulating MAC evidence.
+type ChainMsg struct {
+	View   types.View
+	Seq    types.SeqNum
+	Digest types.Digest
+	Batch  *types.Batch
+	// Hops records the replicas the message passed through, in order,
+	// each vouching with a MAC/signature over the slot digest.
+	Hops []Hop
+}
+
+// Hop is one replica's endorsement of a slot.
+type Hop struct {
+	Replica types.NodeID
+	Sig     []byte
+}
+
+// Kind implements types.Message.
+func (*ChainMsg) Kind() string { return "CHAIN" }
+
+func slotDigest(v types.View, seq types.SeqNum, d types.Digest) types.Digest {
+	var h types.Hasher
+	h.Str("chain-slot").U64(uint64(v)).U64(uint64(seq)).Digest(d)
+	return h.Sum()
+}
+
+// CommitNoticeMsg is the tail's signed commit announcement.
+type CommitNoticeMsg struct {
+	View   types.View
+	Seq    types.SeqNum
+	Digest types.Digest
+	Batch  *types.Batch
+	Tail   types.NodeID
+	Sig    []byte
+}
+
+// Kind implements types.Message.
+func (*CommitNoticeMsg) Kind() string { return "CHAIN-COMMIT" }
+
+// SigDigest is the signed content.
+func (m *CommitNoticeMsg) SigDigest() types.Digest {
+	var h types.Hasher
+	h.Str("chain-commit").U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Digest)
+	return h.Sum()
+}
+
+// PanicMsg is the client's alarm that the chain stalled.
+type PanicMsg struct {
+	Client types.NodeID
+	Sig    []byte
+}
+
+// Kind implements types.Message.
+func (*PanicMsg) Kind() string { return "CHAIN-PANIC" }
+
+// ReconfigMsg installs the next chain configuration; replicas adopt it
+// when f+1 distinct members demand the same view.
+type ReconfigMsg struct {
+	NewView types.View
+	// LastExec lets the next head resume sequence numbering above the
+	// highest execution point any member reached, so reconfigurations
+	// never leave gaps in the slot space.
+	LastExec types.SeqNum
+	Replica  types.NodeID
+	Sig      []byte
+}
+
+// Kind implements types.Message.
+func (*ReconfigMsg) Kind() string { return "CHAIN-RECONFIG" }
+
+// FetchChainMsg asks a peer for committed slots above From (gap repair
+// after a reconfiguration).
+type FetchChainMsg struct {
+	From types.SeqNum
+}
+
+// Kind implements types.Message.
+func (*FetchChainMsg) Kind() string { return "CHAIN-FETCH" }
+
+// ChainEntriesMsg answers a FetchChainMsg. Under the chain's honest-
+// replica assumption (a2) entries are adopted from a single responder.
+type ChainEntriesMsg struct {
+	Entries []ChainEntry
+}
+
+// ChainEntry is one committed slot.
+type ChainEntry struct {
+	View  types.View
+	Seq   types.SeqNum
+	Batch *types.Batch
+}
+
+// Kind implements types.Message.
+func (*ChainEntriesMsg) Kind() string { return "CHAIN-ENTRIES" }
+
+// SigDigest is the signed content.
+func (m *ReconfigMsg) SigDigest() types.Digest {
+	var h types.Hasher
+	h.Str("chain-reconfig").U64(uint64(m.NewView)).U64(uint64(m.LastExec)).U64(uint64(m.Replica))
+	return h.Sum()
+}
+
+// Chain is the protocol state machine for one replica.
+type Chain struct {
+	env core.Env
+
+	view    types.View
+	nextSeq types.SeqNum
+
+	pending       []*types.Request
+	pendingSet    map[types.RequestKey]bool
+	inFlight      map[types.RequestKey]bool
+	watch         map[types.RequestKey]bool
+	done      map[types.RequestKey]bool
+	progressArmed bool
+
+	reconfigVotes map[types.View]map[types.NodeID]bool
+	reconfigExec  map[types.View]types.SeqNum
+}
+
+// New returns a Chain replica.
+func New(cfg core.Config) core.Protocol { return &Chain{} }
+
+func init() {
+	core.Register(core.Registration{
+		Name:       "chain",
+		Profile:    core.ChainProfile(),
+		NewReplica: New,
+		NewClient: func(cfg core.Config) core.ClientProtocol {
+			return NewClient()
+		},
+	})
+}
+
+// Init implements core.Protocol.
+func (c *Chain) Init(env core.Env) {
+	c.env = env
+	c.pendingSet = make(map[types.RequestKey]bool)
+	c.inFlight = make(map[types.RequestKey]bool)
+	c.watch = make(map[types.RequestKey]bool)
+	c.done = make(map[types.RequestKey]bool)
+	c.reconfigVotes = make(map[types.View]map[types.NodeID]bool)
+	c.reconfigExec = make(map[types.View]types.SeqNum)
+}
+
+// View returns the current chain configuration number.
+func (c *Chain) View() types.View { return c.view }
+
+// ChainFor returns the pipeline order of view v: all replicas in ring
+// order starting after the excluded one. View 0 excludes nobody; view
+// v > 0 excludes replica (v−1) mod n.
+func (c *Chain) ChainFor(v types.View) []types.NodeID {
+	n := c.env.N()
+	var out []types.NodeID
+	if v == 0 {
+		for i := 0; i < n; i++ {
+			out = append(out, types.NodeID(i))
+		}
+		return out
+	}
+	excluded := types.NodeID(uint64(v-1) % uint64(n))
+	for i := 0; i < n; i++ {
+		id := types.NodeID((uint64(excluded) + 1 + uint64(i)) % uint64(n))
+		if id != excluded {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Head returns the current chain head.
+func (c *Chain) Head() types.NodeID { return c.ChainFor(c.view)[0] }
+
+// Tail returns the current chain tail.
+func (c *Chain) Tail() types.NodeID {
+	chain := c.ChainFor(c.view)
+	return chain[len(chain)-1]
+}
+
+// successor returns the next replica after id in the current chain, or
+// -1 if id is the tail or not in the chain.
+func (c *Chain) successor(id types.NodeID) types.NodeID {
+	chain := c.ChainFor(c.view)
+	for i, x := range chain {
+		if x == id {
+			if i+1 < len(chain) {
+				return chain[i+1]
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// OnRequest implements core.Protocol: the head orders; everyone else
+// forwards to the head.
+func (c *Chain) OnRequest(req *types.Request) {
+	if c.done[req.Key()] {
+		return
+	}
+	if !c.env.Verifier().VerifySig(req.Client, req.Digest(), req.Sig) {
+		return
+	}
+	key := req.Key()
+	c.watch[key] = true
+	if c.pendingSet[key] {
+		if c.Head() != c.env.ID() {
+			c.env.Send(c.Head(), &core.ForwardMsg{Req: req})
+		}
+		return
+	}
+	c.pendingSet[key] = true
+	c.pending = append(c.pending, req)
+	if c.Head() != c.env.ID() {
+		c.env.Send(c.Head(), &core.ForwardMsg{Req: req})
+		return
+	}
+	c.maybePropose()
+}
+
+func (c *Chain) maybePropose() {
+	if c.Head() != c.env.ID() {
+		return
+	}
+	for {
+		reqs := c.takePending(c.env.Config().BatchSize)
+		if len(reqs) == 0 {
+			return
+		}
+		batch := types.NewBatch(reqs...)
+		c.nextSeq++
+		m := &ChainMsg{View: c.view, Seq: c.nextSeq, Digest: batch.Digest(), Batch: batch}
+		c.processChainMsg(m)
+	}
+}
+
+func (c *Chain) takePending(max int) []*types.Request {
+	var out []*types.Request
+	live := c.pending[:0]
+	for _, req := range c.pending {
+		key := req.Key()
+		if !c.pendingSet[key] || c.done[req.Key()] {
+			continue
+		}
+		live = append(live, req)
+		if len(out) < max && !c.inFlight[key] {
+			c.inFlight[key] = true
+			out = append(out, req)
+		}
+	}
+	c.pending = live
+	return out
+}
+
+// processChainMsg appends this replica's endorsement and forwards (or
+// closes the slot at the tail).
+func (c *Chain) processChainMsg(m *ChainMsg) {
+	if m.View != c.view {
+		return
+	}
+	if m.Batch.Digest() != m.Digest {
+		return
+	}
+	sd := slotDigest(m.View, m.Seq, m.Digest)
+	m.Hops = append(m.Hops, Hop{Replica: c.env.ID(), Sig: c.env.Signer().Sign(sd)})
+	for _, r := range m.Batch.Requests {
+		c.watch[r.Key()] = true
+		c.inFlight[r.Key()] = true
+	}
+	next := c.successor(c.env.ID())
+	if next >= 0 {
+		c.env.Send(next, m)
+		return
+	}
+	// Tail: the slot traversed every member — commit and announce.
+	notice := &CommitNoticeMsg{View: m.View, Seq: m.Seq, Digest: m.Digest, Batch: m.Batch, Tail: c.env.ID()}
+	notice.Sig = c.env.Signer().Sign(notice.SigDigest())
+	c.env.Broadcast(notice)
+	c.adoptCommit(notice)
+}
+
+func (c *Chain) adoptCommit(m *CommitNoticeMsg) {
+	proof := &types.CommitProof{View: m.View, Seq: m.Seq, Digest: m.Digest,
+		Special: "chain-tail-notice", Voters: []types.NodeID{m.Tail}}
+	c.env.Commit(m.View, m.Seq, m.Batch, proof)
+}
+
+// OnMessage implements core.Protocol.
+func (c *Chain) OnMessage(from types.NodeID, m types.Message) {
+	switch mm := m.(type) {
+	case *core.ForwardMsg:
+		c.OnRequest(mm.Req)
+	case *ChainMsg:
+		// Must arrive from our predecessor with valid hop endorsements.
+		if c.successor(from) != c.env.ID() {
+			return
+		}
+		sd := slotDigest(mm.View, mm.Seq, mm.Digest)
+		for _, hop := range mm.Hops {
+			if !c.env.Verifier().VerifySig(hop.Replica, sd, hop.Sig) {
+				return
+			}
+		}
+		c.processChainMsg(mm)
+	case *CommitNoticeMsg:
+		if mm.Tail != c.Tail() && from != mm.Tail {
+			return
+		}
+		if !c.env.Verifier().VerifySig(mm.Tail, mm.SigDigest(), mm.Sig) {
+			return
+		}
+		c.adoptCommit(mm)
+	case *FetchChainMsg:
+		led := c.env.Ledger()
+		if led.LastExecuted() <= mm.From {
+			return
+		}
+		resp := &ChainEntriesMsg{}
+		for _, e := range led.CommittedAbove(mm.From) {
+			resp.Entries = append(resp.Entries, ChainEntry{View: e.View, Seq: e.Seq, Batch: e.Batch})
+		}
+		if len(resp.Entries) > 0 {
+			c.env.Send(from, resp)
+		}
+	case *ChainEntriesMsg:
+		// Adopted under the chain's honest-member assumption (a2); a
+		// Byzantine peer would force the switch to a full BFT protocol
+		// anyway (the Abstract fallback, out of scope here).
+		for _, e := range mm.Entries {
+			proof := &types.CommitProof{View: e.View, Seq: e.Seq, Digest: e.Batch.Digest(),
+				Special: "chain-catchup"}
+			c.env.Commit(e.View, e.Seq, e.Batch, proof)
+		}
+	case *PanicMsg:
+		// A stalled client: demand the next configuration.
+		c.demandReconfig(c.view + 1)
+	case *ReconfigMsg:
+		if mm.Replica != from {
+			return
+		}
+		if !c.env.Verifier().VerifySig(from, mm.SigDigest(), mm.Sig) {
+			return
+		}
+		c.onReconfig(mm)
+	}
+}
+
+func (c *Chain) demandReconfig(v types.View) {
+	if v <= c.view {
+		return
+	}
+	rm := &ReconfigMsg{NewView: v, LastExec: c.env.Ledger().LastExecuted(), Replica: c.env.ID()}
+	rm.Sig = c.env.Signer().Sign(rm.SigDigest())
+	c.env.Broadcast(rm)
+	c.onReconfig(rm)
+}
+
+func (c *Chain) onReconfig(m *ReconfigMsg) {
+	if m.NewView <= c.view {
+		return
+	}
+	set := c.reconfigVotes[m.NewView]
+	if set == nil {
+		set = make(map[types.NodeID]bool)
+		c.reconfigVotes[m.NewView] = set
+	}
+	set[m.Replica] = true
+	if m.LastExec > c.reconfigExec[m.NewView] {
+		c.reconfigExec[m.NewView] = m.LastExec
+	}
+	if len(set) < c.env.F()+1 {
+		return
+	}
+	c.view = m.NewView
+	c.inFlight = make(map[types.RequestKey]bool)
+	// The new head numbers slots above the highest reported execution
+	// point, and members behind it repair the gap by fetching.
+	base := c.reconfigExec[m.NewView]
+	if own := c.env.Ledger().LastExecuted(); own > base {
+		base = own
+	}
+	c.nextSeq = base
+	if c.env.Ledger().LastExecuted() < base {
+		c.env.Broadcast(&FetchChainMsg{From: c.env.Ledger().LastExecuted()})
+	}
+	for v := range c.reconfigVotes {
+		if v <= c.view {
+			delete(c.reconfigVotes, v)
+			delete(c.reconfigExec, v)
+		}
+	}
+	c.env.ViewChanged(c.view)
+	c.maybePropose()
+}
+
+// OnTimer implements core.Protocol (the chain replica has no timers; the
+// client drives fault detection, P6's repairer role).
+func (c *Chain) OnTimer(id core.TimerID) {}
+
+// OnExecuted implements core.Protocol: the tail replies (single reply;
+// its commit notice is the proof under the chain's trust assumptions).
+func (c *Chain) OnExecuted(seq types.SeqNum, batch *types.Batch, results [][]byte) {
+	for i, req := range batch.Requests {
+		delete(c.watch, req.Key())
+		delete(c.pendingSet, req.Key())
+		delete(c.inFlight, req.Key())
+		c.done[req.Key()] = true
+		if c.Tail() == c.env.ID() {
+			c.env.Reply(&types.Reply{
+				Client:    req.Client,
+				ClientSeq: req.ClientSeq,
+				View:      c.view,
+				Seq:       seq,
+				Result:    results[i],
+			})
+		}
+	}
+	if c.nextSeq < seq {
+		c.nextSeq = seq
+	}
+	c.maybePropose()
+}
+
+// Client is the chain client: send to the head, accept the tail's single
+// reply, panic on timeout (repairer role).
+type Client struct {
+	env      core.ClientEnv
+	view     types.View
+	pending  map[uint64]*types.Request
+	panicked map[uint64]int
+}
+
+// NewClient returns a chain client.
+func NewClient() *Client {
+	return &Client{pending: make(map[uint64]*types.Request), panicked: make(map[uint64]int)}
+}
+
+// Init implements core.ClientProtocol.
+func (c *Client) Init(env core.ClientEnv) { c.env = env }
+
+func (c *Client) headFor(v types.View) types.NodeID {
+	n := c.env.N()
+	if v == 0 {
+		return 0
+	}
+	excluded := uint64(v-1) % uint64(n)
+	return types.NodeID((excluded + 1) % uint64(n))
+}
+
+// Submit implements core.ClientProtocol.
+func (c *Client) Submit(req *types.Request) {
+	c.pending[req.ClientSeq] = req
+	c.env.Send(c.headFor(c.view), &core.RequestMsg{Req: req})
+	c.env.SetTimer(core.TimerID{Name: "chain-wait", Seq: types.SeqNum(req.ClientSeq)},
+		c.env.Config().RequestTimeout)
+}
+
+// OnMessage implements core.ClientProtocol.
+func (c *Client) OnMessage(from types.NodeID, m types.Message) {
+	rm, ok := m.(*core.ReplyMsg)
+	if !ok {
+		return
+	}
+	rep := rm.R
+	req := c.pending[rep.ClientSeq]
+	if req == nil {
+		return
+	}
+	if !c.env.Verifier().VerifySig(rep.Replica, rep.Digest(), rep.Sig) {
+		return
+	}
+	if rep.View > c.view {
+		c.view = rep.View
+	}
+	c.env.StopTimer(core.TimerID{Name: "chain-wait", Seq: types.SeqNum(rep.ClientSeq)})
+	delete(c.pending, rep.ClientSeq)
+	delete(c.panicked, rep.ClientSeq)
+	c.env.Done(req, rep.Result)
+}
+
+// OnTimer implements core.ClientProtocol: the repairer path — panic to
+// every replica, bump the presumed view, and retry at the next head.
+func (c *Client) OnTimer(id core.TimerID) {
+	req := c.pending[uint64(id.Seq)]
+	if req == nil {
+		return
+	}
+	c.panicked[uint64(id.Seq)]++
+	c.env.BroadcastReplicas(&PanicMsg{Client: c.env.ID()})
+	c.view++
+	c.env.BroadcastReplicas(&core.RequestMsg{Req: req})
+	c.env.SetTimer(id, c.env.Config().RequestTimeout)
+}

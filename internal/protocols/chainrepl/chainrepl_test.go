@@ -1,0 +1,107 @@
+package chainrepl_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/protocols/chainrepl"
+	_ "bftkit/internal/protocols/pbft"
+	"bftkit/internal/types"
+)
+
+func op(client, k int) []byte {
+	return kvstore.Put(fmt.Sprintf("c%d-k%d", client, k), []byte(fmt.Sprintf("v%d", k)))
+}
+
+func TestFaultFreeCommit(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "chain", N: 4, Clients: 2})
+	c.Start()
+	c.ClosedLoop(20, op)
+	c.RunUntilIdle(60 * time.Second)
+	if got, want := c.Metrics.Completed, 40; got != want {
+		t.Fatalf("completed %d, want %d", got, want)
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	h0 := c.Apps[0].Hash()
+	for i := 1; i < 4; i++ {
+		if c.Apps[i].Hash() != h0 {
+			t.Fatalf("replica %d state diverges", i)
+		}
+	}
+}
+
+func TestMinimalPerNodeLoad(t *testing.T) {
+	// E2's chain claim: per-slot per-node load is O(1); total traffic
+	// per request is far below PBFT's quadratic exchange.
+	msgs := func(proto string) float64 {
+		c := harness.NewCluster(harness.Options{Protocol: proto, N: 7, Clients: 1})
+		c.Start()
+		c.ClosedLoop(20, op)
+		c.RunUntilIdle(60 * time.Second)
+		if c.Metrics.Completed != 20 {
+			t.Fatalf("%s completed %d", proto, c.Metrics.Completed)
+		}
+		d, _ := c.Net.Totals()
+		return float64(d) / 20
+	}
+	chain := msgs("chain")
+	pbft := msgs("pbft")
+	if chain >= pbft/3 {
+		t.Fatalf("chain traffic (%.0f/req) should be a small fraction of pbft's (%.0f/req)", chain, pbft)
+	}
+}
+
+func TestLatencyIsNHops(t *testing.T) {
+	// The chain's cost: latency grows with chain length (n sequential
+	// hops), unlike PBFT's constant 3 phases.
+	mean := func(n int) time.Duration {
+		c := harness.NewCluster(harness.Options{Protocol: "chain", N: n, Clients: 1})
+		c.Start()
+		c.ClosedLoop(20, op)
+		c.RunUntilIdle(60 * time.Second)
+		if c.Metrics.Completed != 20 {
+			t.Fatalf("n=%d completed %d", n, c.Metrics.Completed)
+		}
+		return c.Metrics.MeanLatency()
+	}
+	small := mean(4)
+	big := mean(10)
+	if big <= small+3*time.Millisecond {
+		t.Fatalf("latency should grow with chain length: n=4 %v, n=10 %v", small, big)
+	}
+}
+
+func TestCrashTriggersPanicAndReconfiguration(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		Protocol: "chain", N: 4, Clients: 2,
+		Tune: func(cfg *core.Config) { cfg.RequestTimeout = 60 * time.Millisecond },
+	})
+	c.Start()
+	c.ClosedLoop(10, op)
+	c.Run(15 * time.Millisecond)
+	c.Crash(2) // a mid-chain replica
+	c.RunUntilIdle(300 * time.Second)
+	if got, want := c.Metrics.Completed, 20; got != want {
+		t.Fatalf("completed %d after mid-chain crash, want %d", got, want)
+	}
+	// The surviving replicas must have reconfigured past r2.
+	ch := c.Replicas[0].Protocol().(*chainrepl.Chain)
+	if ch.View() == 0 {
+		t.Fatal("no reconfiguration happened")
+	}
+	for _, id := range ch.ChainFor(ch.View()) {
+		if id == 2 {
+			t.Fatalf("crashed replica still in chain %v", ch.ChainFor(ch.View()))
+		}
+	}
+	if err := c.Audit(2); err != nil {
+		t.Fatal(err)
+	}
+	_ = types.NodeID(0)
+}

@@ -1,0 +1,82 @@
+package fab_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	_ "bftkit/internal/protocols/fab"
+	_ "bftkit/internal/protocols/pbft"
+)
+
+func op(client, k int) []byte {
+	return kvstore.Put(fmt.Sprintf("c%d-k%d", client, k), []byte(fmt.Sprintf("v%d", k)))
+}
+
+func TestFaultFreeCommitAt5fPlus1(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "fab", F: 1, Clients: 2}) // n = 6
+	if c.Cfg.N != 6 {
+		t.Fatalf("expected n=6 for f=1, got %d", c.Cfg.N)
+	}
+	c.Start()
+	c.ClosedLoop(25, op)
+	c.RunUntilIdle(60 * time.Second)
+	if got, want := c.Metrics.Completed, 50; got != want {
+		t.Fatalf("completed %d, want %d", got, want)
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPhaseBeatsThreePhaseLatency(t *testing.T) {
+	// DC2's trade-off: at equal f, FaB commits in 2 phases vs PBFT's 3
+	// — lower latency, bought with 2f extra replicas.
+	mean := func(proto string, f int) time.Duration {
+		c := harness.NewCluster(harness.Options{Protocol: proto, F: f, Clients: 1})
+		c.Start()
+		c.ClosedLoop(30, op)
+		c.RunUntilIdle(60 * time.Second)
+		if c.Metrics.Completed != 30 {
+			t.Fatalf("%s completed %d", proto, c.Metrics.Completed)
+		}
+		return c.Metrics.MeanLatency()
+	}
+	fab := mean("fab", 1)
+	pbft := mean("pbft", 1)
+	if fab >= pbft {
+		t.Fatalf("fab 2-phase (%v) should beat pbft 3-phase (%v)", fab, pbft)
+	}
+}
+
+func TestToleratesFCrashes(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "fab", F: 1, Clients: 2})
+	c.Start()
+	c.ClosedLoop(20, op)
+	c.Run(15 * time.Millisecond)
+	c.Crash(3) // a backup: 5 replicas remain ≥ 4f+1
+	c.RunUntilIdle(60 * time.Second)
+	if got, want := c.Metrics.Completed, 40; got != want {
+		t.Fatalf("completed %d with crashed backup, want %d", got, want)
+	}
+	if err := c.Audit(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaderCrashViewChange(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "fab", F: 1, Clients: 2})
+	c.Start()
+	c.ClosedLoop(15, op)
+	c.Run(15 * time.Millisecond)
+	c.Crash(0)
+	c.RunUntilIdle(120 * time.Second)
+	if got, want := c.Metrics.Completed, 30; got != want {
+		t.Fatalf("completed %d after leader crash, want %d", got, want)
+	}
+	if err := c.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+}

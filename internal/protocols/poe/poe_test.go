@@ -1,0 +1,109 @@
+package poe_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/protocols/poe"
+	"bftkit/internal/types"
+)
+
+func op(client, k int) []byte {
+	return kvstore.Put(fmt.Sprintf("c%d-k%d", client, k), []byte(fmt.Sprintf("v%d", k)))
+}
+
+func tune(cfg *core.Config) {
+	cfg.CheckpointInterval = 8
+	cfg.RequestTimeout = 60 * time.Millisecond
+}
+
+func TestFaultFreeSpeculativeCommit(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "poe", N: 4, Clients: 2, Tune: tune})
+	c.Start()
+	c.ClosedLoop(25, op)
+	c.RunUntilIdle(60 * time.Second)
+	if got, want := c.Metrics.Completed, 50; got != want {
+		t.Fatalf("completed %d, want %d", got, want)
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaysResponsiveWithSlowReplica(t *testing.T) {
+	// DC7 vs DC6: PoE only needs 2f+1 shares, so one silent replica
+	// does not add a τ3 wait per batch the way SBFT's fast path does.
+	c := harness.NewCluster(harness.Options{Protocol: "poe", N: 4, Clients: 1, Tune: tune})
+	c.Start()
+	c.Crash(3) // one crashed backup; the certificate quorum is 3 of 4
+	c.ClosedLoop(20, op)
+	c.RunUntilIdle(60 * time.Second)
+	if got, want := c.Metrics.Completed, 20; got != want {
+		t.Fatalf("completed %d with crashed backup, want %d", got, want)
+	}
+	// Latency must stay in the network-delay regime (no timeout waits).
+	if mean := c.Metrics.MeanLatency(); mean > 20*time.Millisecond {
+		t.Fatalf("mean latency %v suggests PoE waited on a timer despite 2f+1 quorum", mean)
+	}
+}
+
+func TestLazyCheckpointCommitsPrefix(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "poe", N: 4, Clients: 2, Tune: tune})
+	c.Start()
+	c.ClosedLoop(30, op)
+	c.RunUntilIdle(60 * time.Second)
+	for i, r := range c.Replicas {
+		if r.Ledger().LastExecuted() < 8 {
+			t.Fatalf("replica %d never durably committed (lastExec=%d)", i, r.Ledger().LastExecuted())
+		}
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaderCrashViewChangeWithRollbackMachinery(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "poe", N: 4, Clients: 2, Tune: tune})
+	c.Start()
+	c.ClosedLoop(20, op)
+	c.Run(15 * time.Millisecond)
+	c.Crash(0)
+	c.RunUntilIdle(120 * time.Second)
+	if got, want := c.Metrics.Completed, 40; got != want {
+		t.Fatalf("completed %d after leader crash, want %d", got, want)
+	}
+	if err := c.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+	h1 := c.Apps[1].Hash()
+	for _, i := range []int{2, 3} {
+		if c.Apps[i].Hash() != h1 {
+			t.Fatalf("replica %d state diverges", i)
+		}
+	}
+}
+
+func TestSilentLeaderReplaced(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		Protocol: "poe", N: 4, Clients: 2, Tune: tune,
+		MakeReplica: func(id types.NodeID, cfg core.Config) core.Protocol {
+			if id == 0 {
+				return poe.NewWithOptions(cfg, poe.Options{SilentLeader: true})
+			}
+			return nil
+		},
+	})
+	c.Start()
+	c.ClosedLoop(10, op)
+	c.RunUntilIdle(120 * time.Second)
+	if got, want := c.Metrics.Completed, 20; got != want {
+		t.Fatalf("completed %d with silent leader, want %d", got, want)
+	}
+	if err := c.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package prime_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/harness"
+	"bftkit/internal/protocols/pbft"
+	"bftkit/internal/protocols/prime"
+	"bftkit/internal/types"
+)
+
+func TestDebugDelayFull(t *testing.T) {
+	attack := 150 * time.Millisecond
+	c := harness.NewCluster(harness.Options{
+		Protocol: "prime", N: 4, Clients: 2,
+		MakeReplica: func(id types.NodeID, cfg core.Config) core.Protocol {
+			if id != 0 {
+				return nil
+			}
+			return prime.NewWithOptions(cfg, prime.Options{Inner: pbft.Options{DelayAttack: attack}})
+		},
+	})
+	c.Start()
+	c.ClosedLoop(15, op)
+	for i := 0; i < 12; i++ {
+		c.Run(100 * time.Millisecond)
+		d, drop := c.Net.Totals()
+		fmt.Printf("t=%v completed=%d delivered=%d dropped=%d pend=%d\n", c.Sched.Now(), c.Metrics.Completed, d, drop, c.Sched.Pending())
+		if c.Sched.Pending() == 0 {
+			break
+		}
+	}
+	kinds, _ := c.Net.KindCounts()
+	fmt.Printf("kinds=%v\n", kinds)
+	for i := 0; i < 4; i++ {
+		pr := c.Replicas[i].Protocol().(*prime.Prime)
+		inner := pr.Inner().(*pbft.PBFT)
+		fmt.Printf("r%d inner: %s lastExec=%d\n", i, inner.DebugState(), c.Replicas[i].Ledger().LastExecuted())
+	}
+}

@@ -1,0 +1,126 @@
+package raftlite_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	_ "bftkit/internal/protocols/pbft"
+	"bftkit/internal/protocols/raftlite"
+	"bftkit/internal/types"
+)
+
+func op(client, k int) []byte {
+	return kvstore.Put(fmt.Sprintf("c%d-k%d", client, k), []byte(fmt.Sprintf("v%d", k)))
+}
+
+func TestFaultFreeCommit(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "raftlite", N: 3, F: 1, Clients: 2})
+	c.Start()
+	c.ClosedLoop(25, op)
+	c.Run(10 * time.Second)
+	if got, want := c.Metrics.Completed, 50; got != want {
+		t.Fatalf("completed %d, want %d", got, want)
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	h0 := c.Apps[0].Hash()
+	for i := 1; i < 3; i++ {
+		if c.Apps[i].Hash() != h0 {
+			t.Fatalf("replica %d state diverges", i)
+		}
+	}
+}
+
+func TestLeaderCrashElection(t *testing.T) {
+	c := harness.NewCluster(harness.Options{Protocol: "raftlite", N: 3, F: 1, Clients: 2})
+	c.Start()
+	c.ClosedLoop(20, op)
+	c.Run(2 * time.Second) // let an election settle and work start
+	// Find and kill the current leader.
+	var lead int = -1
+	for i := 0; i < 3; i++ {
+		if c.Replicas[i].Protocol().(*raftlite.Raft).IsLeader() {
+			lead = i
+		}
+	}
+	if lead < 0 {
+		t.Fatal("no leader elected")
+	}
+	c.Crash(types.NodeID(lead))
+	c.Run(20 * time.Second)
+	if got, want := c.Metrics.Completed, 40; got != want {
+		t.Fatalf("completed %d after leader crash, want %d", got, want)
+	}
+	if err := c.Audit(types.NodeID(lead)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheaperThanBFT(t *testing.T) {
+	// §1's framing: CFT costs less — fewer replicas (2f+1 vs 3f+1) and
+	// fewer messages (no all-to-all agreement, no signatures).
+	c := harness.NewCluster(harness.Options{Protocol: "raftlite", N: 3, F: 1, Clients: 1})
+	c.Start()
+	c.ClosedLoop(20, op)
+	c.Run(3 * time.Second) // bounded window: heartbeats run forever
+	if c.Metrics.Completed != 20 {
+		t.Fatalf("raftlite completed %d", c.Metrics.Completed)
+	}
+	raftMsgs, _ := c.Net.Totals()
+
+	p := harness.NewCluster(harness.Options{Protocol: "pbft", F: 1, Clients: 1})
+	p.Start()
+	p.ClosedLoop(20, op)
+	p.Run(3 * time.Second)
+	if p.Metrics.Completed != 20 {
+		t.Fatalf("pbft completed %d", p.Metrics.Completed)
+	}
+	pbftMsgs, _ := p.Net.Totals()
+	if raftMsgs >= pbftMsgs {
+		t.Fatalf("raftlite (%d msgs) should be cheaper than pbft (%d msgs)", raftMsgs, pbftMsgs)
+	}
+}
+
+func TestPartitionedMinorityStalls(t *testing.T) {
+	// Raft's availability story: a leader cut off from the majority
+	// cannot commit; the majority side elects a new leader and moves on.
+	c := harness.NewCluster(harness.Options{Protocol: "raftlite", N: 3, F: 1, Clients: 1})
+	c.Start()
+	c.ClosedLoop(10, op)
+	c.Run(2 * time.Second)
+	var lead int = -1
+	for i := 0; i < 3; i++ {
+		if c.Replicas[i].Protocol().(*raftlite.Raft).IsLeader() {
+			lead = i
+		}
+	}
+	if lead < 0 {
+		t.Fatal("no leader")
+	}
+	// Isolate the leader away from everyone (client included).
+	others := []types.NodeID{}
+	for i := 0; i < 3; i++ {
+		if i != lead {
+			others = append(others, types.NodeID(i))
+		}
+	}
+	c.Net.Partition(append(others, types.ClientIDBase), []types.NodeID{types.NodeID(lead)})
+	c.Run(10 * time.Second)
+	if got, want := c.Metrics.Completed, 10; got != want {
+		t.Fatalf("majority side completed %d, want %d", got, want)
+	}
+	// Heal: the deposed leader steps down and converges.
+	c.Net.Heal()
+	c.Run(5 * time.Second)
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	h := c.Apps[others[0]].Hash()
+	if c.Apps[lead].Hash() != h {
+		t.Fatal("deposed leader did not converge after heal")
+	}
+}

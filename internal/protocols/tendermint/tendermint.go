@@ -1,0 +1,622 @@
+// Package tendermint implements a Tendermint-style BFT protocol
+// [52, 53, 124]: rotating proposers (one per height and round), prevote
+// and precommit voting phases with value locking, and the non-responsive
+// Δ wait of design choice 4 — a new height's proposer waits a predefined
+// synchrony bound before proposing so it is guaranteed to have seen the
+// previous height's decision from all slow-but-correct replicas. The
+// protocol uses the paper's timers τ4 (quorum construction: propose,
+// prevote, precommit timeouts) and τ5 (view synchronization: the Δ wait).
+//
+// Transactions are disseminated mempool-style: clients broadcast to all
+// replicas, every replica buffers, and the proposer of the moment batches
+// from its own mempool.
+package tendermint
+
+import (
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/types"
+)
+
+// Vote types.
+const (
+	votePrevote   = "PREVOTE"
+	votePrecommit = "PRECOMMIT"
+)
+
+// Timer names.
+const (
+	timerPropose   = "propose"    // τ4: waiting for a proposal
+	timerPrevote   = "prevote"    // τ4: waiting for 2f+1 prevotes
+	timerPrecommit = "precommit"  // τ4: waiting for 2f+1 precommits
+	timerNewHeight = "new-height" // τ5: the Δ wait (DC4)
+	timerBatch     = "batch"
+)
+
+// ProposalMsg carries the proposer's batch for (height, round).
+type ProposalMsg struct {
+	Height types.SeqNum
+	Round  uint32
+	Digest types.Digest
+	Batch  *types.Batch
+	Sig    []byte
+}
+
+// Kind implements types.Message.
+func (*ProposalMsg) Kind() string { return "PROPOSAL" }
+
+// SigDigest is the signed content.
+func (m *ProposalMsg) SigDigest() types.Digest {
+	var h types.Hasher
+	h.Str("tm-proposal").U64(uint64(m.Height)).U64(uint64(m.Round)).Digest(m.Digest)
+	return h.Sum()
+}
+
+// VoteMsg is a prevote or precommit. A zero digest votes nil.
+type VoteMsg struct {
+	Type    string
+	Height  types.SeqNum
+	Round   uint32
+	Digest  types.Digest
+	Replica types.NodeID
+	Sig     []byte
+}
+
+// Kind implements types.Message.
+func (m *VoteMsg) Kind() string { return m.Type }
+
+// SigDigest is the signed content.
+func (m *VoteMsg) SigDigest() types.Digest {
+	var h types.Hasher
+	h.Str("tm-vote").Str(m.Type).U64(uint64(m.Height)).U64(uint64(m.Round)).
+		Digest(m.Digest).U64(uint64(m.Replica))
+	return h.Sum()
+}
+
+// FetchProposalMsg asks a peer to re-send the batch behind a decided
+// digest (catch-up when the original proposal was lost).
+type FetchProposalMsg struct {
+	Height types.SeqNum
+	Round  uint32
+}
+
+// Kind implements types.Message.
+func (*FetchProposalMsg) Kind() string { return "FETCH-PROPOSAL" }
+
+type hrKey struct {
+	H types.SeqNum
+	R uint32
+}
+
+type roundState struct {
+	batch      *types.Batch
+	digest     types.Digest
+	hasProp    bool
+	prevotes   map[types.Digest]map[types.NodeID]bool
+	precommits map[types.Digest]map[types.NodeID]bool
+	sentPV     bool
+	sentPC     bool
+}
+
+// Options tunes a Tendermint instance, including attack injection.
+type Options struct {
+	// SilentProposer drops proposals when this replica should propose.
+	SilentProposer bool
+	// EquivocatingProposer sends conflicting proposals to different
+	// halves of the replicas (the locking rule must keep at most one of
+	// them committable).
+	EquivocatingProposer bool
+	// SkipDeltaWait enables the HotStuff-2-style optimization noted in
+	// DC4: a proposer that was part of the previous height's precommit
+	// quorum proposes immediately instead of waiting Δ.
+	SkipDeltaWait bool
+}
+
+// Tendermint is the protocol state machine for one replica.
+type Tendermint struct {
+	env  core.Env
+	opts Options
+	cm   *core.CheckpointManager
+
+	height types.SeqNum
+	round  uint32
+	states map[hrKey]*roundState
+	// peerRound tracks the highest round each peer has shown activity
+	// in at the current height; f+1 peers ahead of us trigger the round
+	// catch-up jump (Tendermint's round synchronization).
+	peerRound map[types.NodeID]uint32
+
+	lockedDigest types.Digest
+	lockedBatch  *types.Batch
+	locked       bool
+
+	mempool  []*types.Request
+	memSet   map[types.RequestKey]bool
+	done map[types.RequestKey]bool
+
+	// sawQuorumPrev records that this replica observed the full
+	// precommit quorum for the previous height (the DC4 optimization).
+	sawQuorumPrev bool
+	// deltaDone gates the proposer's first proposal of a height: it
+	// becomes true only after the Δ wait (or immediately under the
+	// SkipDeltaWait optimization).
+	deltaDone bool
+}
+
+// New returns a Tendermint replica with default options.
+func New(cfg core.Config) core.Protocol { return NewWithOptions(cfg, Options{}) }
+
+// NewWithOptions returns a Tendermint replica with explicit options.
+func NewWithOptions(_ core.Config, opts Options) core.Protocol {
+	return &Tendermint{opts: opts}
+}
+
+func init() {
+	core.Register(core.Registration{
+		Name:       "tendermint",
+		Profile:    core.TendermintProfile(),
+		NewReplica: New,
+		NewClient: func(cfg core.Config) core.ClientProtocol {
+			return core.NewRequester(core.RequesterOpts{SendToAll: true})
+		},
+	})
+}
+
+// Init implements core.Protocol.
+func (t *Tendermint) Init(env core.Env) {
+	t.env = env
+	t.cm = core.NewCheckpointManager(env)
+	t.states = make(map[hrKey]*roundState)
+	t.peerRound = make(map[types.NodeID]uint32)
+	t.memSet = make(map[types.RequestKey]bool)
+	t.done = make(map[types.RequestKey]bool)
+	t.height = 1
+	t.deltaDone = true // the first height has no prior decision to wait for
+}
+
+// Height returns the current consensus height (tests observe it).
+func (t *Tendermint) Height() types.SeqNum { return t.height }
+
+// Round returns the current round within the height.
+func (t *Tendermint) Round() uint32 { return t.round }
+
+func (t *Tendermint) proposer(h types.SeqNum, r uint32) types.NodeID {
+	return types.NodeID((uint64(h) + uint64(r)) % uint64(t.env.N()))
+}
+
+func (t *Tendermint) state(h types.SeqNum, r uint32) *roundState {
+	k := hrKey{h, r}
+	st := t.states[k]
+	if st == nil {
+		st = &roundState{
+			prevotes:   make(map[types.Digest]map[types.NodeID]bool),
+			precommits: make(map[types.Digest]map[types.NodeID]bool),
+		}
+		t.states[k] = st
+	}
+	return st
+}
+
+// OnRequest implements core.Protocol: mempool admission.
+func (t *Tendermint) OnRequest(req *types.Request) {
+	if t.done[req.Key()] {
+		return
+	}
+	if !t.env.Verifier().VerifySig(req.Client, req.Digest(), req.Sig) {
+		return
+	}
+	key := req.Key()
+	if t.memSet[key] {
+		t.kick() // a retransmission: the round may be stuck, re-arm
+		return
+	}
+	t.memSet[key] = true
+	t.mempool = append(t.mempool, req)
+	t.kick()
+}
+
+// kick starts the current round's machinery when there is work to do.
+func (t *Tendermint) kick() {
+	st := t.state(t.height, t.round)
+	if st.hasProp {
+		return
+	}
+	if t.proposer(t.height, t.round) == t.env.ID() {
+		t.env.SetTimer(core.TimerID{Name: timerBatch, Seq: t.height}, t.env.Config().BatchTimeout)
+	} else if len(t.mempool) > 0 {
+		// There is known work; if no proposal shows up, advance (τ4).
+		t.armProposeTimeout()
+	}
+}
+
+func (t *Tendermint) armProposeTimeout() {
+	d := t.env.Config().ViewChangeTimeout + time.Duration(t.round)*t.env.Config().ViewChangeTimeout/2
+	t.env.SetTimer(core.TimerID{Name: timerPropose, View: types.View(t.round), Seq: t.height}, d)
+}
+
+func (t *Tendermint) takeBatch() *types.Batch {
+	if t.locked {
+		return t.lockedBatch
+	}
+	var reqs []*types.Request
+	live := t.mempool[:0]
+	max := t.env.Config().BatchSize
+	for _, req := range t.mempool {
+		if t.done[req.Key()] {
+			delete(t.memSet, req.Key())
+			continue
+		}
+		live = append(live, req)
+		if len(reqs) < max {
+			reqs = append(reqs, req)
+		}
+	}
+	t.mempool = live
+	if len(reqs) == 0 {
+		return nil
+	}
+	return types.NewBatch(reqs...)
+}
+
+func (t *Tendermint) propose() {
+	if t.opts.SilentProposer {
+		return
+	}
+	if t.round == 0 && !t.deltaDone {
+		return // DC4: the Δ wait has not elapsed yet
+	}
+	st := t.state(t.height, t.round)
+	if st.hasProp {
+		return
+	}
+	batch := t.takeBatch()
+	if batch == nil {
+		return
+	}
+	prop := &ProposalMsg{Height: t.height, Round: t.round, Digest: batch.Digest(), Batch: batch}
+	prop.Sig = t.env.Signer().Sign(prop.SigDigest())
+	if t.opts.EquivocatingProposer {
+		alt := &ProposalMsg{Height: t.height, Round: t.round,
+			Digest: types.ZeroDigest, Batch: types.NewBatch()}
+		alt.Digest = alt.Batch.Digest()
+		alt.Sig = t.env.Signer().Sign(alt.SigDigest())
+		for i, id := range t.env.Replicas() {
+			if id == t.env.ID() {
+				continue
+			}
+			if i%2 == 0 {
+				t.env.Send(id, prop)
+			} else {
+				t.env.Send(id, alt)
+			}
+		}
+		t.acceptProposal(prop)
+		return
+	}
+	t.env.Broadcast(prop)
+	t.acceptProposal(prop)
+}
+
+func (t *Tendermint) acceptProposal(m *ProposalMsg) {
+	if m.Height != t.height || m.Round != t.round {
+		// Keep proposals for future rounds/heights of this height so
+		// catch-up commits can find the batch.
+		if m.Height >= t.height && m.Batch.Digest() == m.Digest {
+			st := t.state(m.Height, m.Round)
+			if !st.hasProp {
+				st.hasProp = true
+				st.batch = m.Batch
+				st.digest = m.Digest
+			}
+			t.maybeCommit(m.Height, m.Round)
+		}
+		return
+	}
+	if m.Batch.Digest() != m.Digest {
+		return
+	}
+	st := t.state(m.Height, m.Round)
+	if st.hasProp {
+		return
+	}
+	st.hasProp = true
+	st.batch = m.Batch
+	st.digest = m.Digest
+	t.env.StopTimer(core.TimerID{Name: timerPropose, View: types.View(t.round), Seq: t.height})
+
+	// Prevote: the proposal unless we are locked on a different value
+	// (Tendermint's locking rule preserves safety across rounds).
+	vote := m.Digest
+	if t.locked && t.lockedDigest != m.Digest {
+		vote = types.ZeroDigest
+	}
+	t.sendVote(votePrevote, vote, st)
+	t.env.SetTimer(core.TimerID{Name: timerPrevote, View: types.View(t.round), Seq: t.height},
+		t.env.Config().ViewChangeTimeout)
+}
+
+func (t *Tendermint) sendVote(typ string, digest types.Digest, st *roundState) {
+	if typ == votePrevote {
+		if st.sentPV {
+			return
+		}
+		st.sentPV = true
+	} else {
+		if st.sentPC {
+			return
+		}
+		st.sentPC = true
+	}
+	v := &VoteMsg{Type: typ, Height: t.height, Round: t.round, Digest: digest, Replica: t.env.ID()}
+	v.Sig = t.env.Signer().Sign(v.SigDigest())
+	t.env.Broadcast(v)
+	t.recordVote(t.env.ID(), v)
+}
+
+// OnMessage implements core.Protocol.
+func (t *Tendermint) OnMessage(from types.NodeID, m types.Message) {
+	if t.cm.OnMessage(from, m) {
+		return
+	}
+	switch mm := m.(type) {
+	case *core.ForwardMsg:
+		t.OnRequest(mm.Req)
+	case *ProposalMsg:
+		if from != t.proposer(mm.Height, mm.Round) {
+			return
+		}
+		if !t.env.Verifier().VerifySig(from, mm.SigDigest(), mm.Sig) {
+			return
+		}
+		t.noteRound(from, mm.Height, mm.Round)
+		t.acceptProposal(mm)
+	case *VoteMsg:
+		if mm.Replica != from {
+			return
+		}
+		if !t.env.Verifier().VerifySig(from, mm.SigDigest(), mm.Sig) {
+			return
+		}
+		t.noteRound(from, mm.Height, mm.Round)
+		t.recordVote(from, mm)
+	case *FetchProposalMsg:
+		st := t.states[hrKey{mm.Height, mm.Round}]
+		if st != nil && st.hasProp {
+			prop := &ProposalMsg{Height: mm.Height, Round: mm.Round, Digest: st.digest, Batch: st.batch}
+			prop.Sig = t.env.Signer().Sign(prop.SigDigest())
+			t.env.Send(from, prop)
+		}
+	}
+}
+
+// noteRound implements round catch-up: when f+1 peers demonstrate
+// activity in a round above ours (at our height), we jump to it — solo
+// timeout cascades would otherwise let replicas drift apart.
+func (t *Tendermint) noteRound(from types.NodeID, h types.SeqNum, r uint32) {
+	if h != t.height {
+		return
+	}
+	if r > t.peerRound[from] {
+		t.peerRound[from] = r
+	}
+	if r <= t.round {
+		return
+	}
+	ahead := 0
+	for _, pr := range t.peerRound {
+		if pr >= r {
+			ahead++
+		}
+	}
+	if ahead < t.env.F()+1 {
+		return
+	}
+	t.stopRoundTimers()
+	t.round = r
+	t.env.ViewChanged(types.View(uint64(t.height)*1000 + uint64(t.round)))
+	st := t.state(t.height, t.round)
+	if t.proposer(t.height, t.round) == t.env.ID() {
+		if !st.hasProp {
+			t.propose()
+		}
+	} else if len(t.mempool) > 0 || t.locked {
+		t.armProposeTimeout()
+	}
+}
+
+func (t *Tendermint) recordVote(from types.NodeID, v *VoteMsg) {
+	if v.Height < t.height {
+		return // decided height
+	}
+	st := t.state(v.Height, v.Round)
+	var set map[types.Digest]map[types.NodeID]bool
+	if v.Type == votePrevote {
+		set = st.prevotes
+	} else {
+		set = st.precommits
+	}
+	voters := set[v.Digest]
+	if voters == nil {
+		voters = make(map[types.NodeID]bool)
+		set[v.Digest] = voters
+	}
+	voters[from] = true
+	if v.Height == t.height && v.Round == t.round {
+		t.advanceStep(st)
+	}
+	if v.Type == votePrecommit {
+		t.maybeCommit(v.Height, v.Round)
+	}
+}
+
+// advanceStep applies the prevote→precommit transition for the current
+// round once quorums form.
+func (t *Tendermint) advanceStep(st *roundState) {
+	quorum := t.env.Config().Quorum()
+	for digest, voters := range st.prevotes {
+		if digest.IsZero() || len(voters) < quorum || st.sentPC {
+			continue
+		}
+		if !st.hasProp || st.digest != digest {
+			continue // can't lock a value we don't hold
+		}
+		// 2f+1 prevotes for the proposal: lock it and precommit.
+		t.locked = true
+		t.lockedDigest = digest
+		t.lockedBatch = st.batch
+		t.sendVote(votePrecommit, digest, st)
+		t.env.StopTimer(core.TimerID{Name: timerPrevote, View: types.View(t.round), Seq: t.height})
+		t.env.SetTimer(core.TimerID{Name: timerPrecommit, View: types.View(t.round), Seq: t.height},
+			t.env.Config().ViewChangeTimeout)
+	}
+	// 2f+1 nil precommits: the round is dead, advance.
+	if voters := st.precommits[types.ZeroDigest]; len(voters) >= quorum {
+		t.nextRound()
+	}
+}
+
+// maybeCommit fires when 2f+1 precommits exist for a non-nil digest at
+// (h, r) — the decision rule, independent of our current round.
+func (t *Tendermint) maybeCommit(h types.SeqNum, r uint32) {
+	if h < t.height {
+		return
+	}
+	st := t.states[hrKey{h, r}]
+	if st == nil {
+		return
+	}
+	quorum := t.env.Config().Quorum()
+	for digest, voters := range st.precommits {
+		if digest.IsZero() || len(voters) < quorum {
+			continue
+		}
+		if !st.hasProp || st.digest != digest {
+			// Decided but we never saw the batch: fetch it from a
+			// precommitter, then recheck on arrival.
+			for id := range voters {
+				if id != t.env.ID() {
+					t.env.Send(id, &FetchProposalMsg{Height: h, Round: r})
+					break
+				}
+			}
+			return
+		}
+		if h != t.height {
+			return // commit strictly in height order; earlier height pending
+		}
+		proof := &types.CommitProof{View: types.View(r), Seq: h, Digest: digest}
+		for id := range voters {
+			proof.Voters = append(proof.Voters, id)
+		}
+		t.sawQuorumPrev = true
+		t.env.Commit(types.View(r), h, st.batch, proof)
+		t.enterHeight(h + 1)
+		return
+	}
+}
+
+func (t *Tendermint) enterHeight(h types.SeqNum) {
+	// Drop per-round state of decided heights.
+	for k := range t.states {
+		if k.H < h {
+			delete(t.states, k)
+		}
+	}
+	t.stopRoundTimers()
+	t.height = h
+	t.round = 0
+	t.peerRound = make(map[types.NodeID]uint32)
+	t.locked = false
+	t.lockedBatch = nil
+	t.lockedDigest = types.ZeroDigest
+	t.env.ViewChanged(types.View(h)) // rotation event for the metrics
+
+	if t.proposer(h, 0) == t.env.ID() {
+		// DC4: wait Δ so every slow-but-correct replica's precommit
+		// for h−1 has arrived — unless we saw the full quorum ourselves
+		// and the optimization is enabled.
+		if t.opts.SkipDeltaWait && t.sawQuorumPrev {
+			t.deltaDone = true
+			t.env.SetTimer(core.TimerID{Name: timerNewHeight, Seq: h}, t.env.Config().BatchTimeout)
+		} else {
+			t.deltaDone = false
+			t.env.SetTimer(core.TimerID{Name: timerNewHeight, Seq: h}, t.env.Config().Delta)
+		}
+	} else {
+		t.deltaDone = true
+	}
+	t.sawQuorumPrev = false
+	t.kick()
+}
+
+func (t *Tendermint) nextRound() {
+	t.stopRoundTimers()
+	t.round++
+	t.env.ViewChanged(types.View(uint64(t.height)*1000 + uint64(t.round)))
+	st := t.state(t.height, t.round)
+	if t.proposer(t.height, t.round) == t.env.ID() {
+		if !st.hasProp {
+			t.propose()
+		}
+	} else if len(t.mempool) > 0 || t.locked {
+		t.armProposeTimeout()
+	}
+}
+
+func (t *Tendermint) stopRoundTimers() {
+	for _, name := range []string{timerPropose, timerPrevote, timerPrecommit} {
+		t.env.StopTimer(core.TimerID{Name: name, View: types.View(t.round), Seq: t.height})
+	}
+}
+
+// OnTimer implements core.Protocol.
+func (t *Tendermint) OnTimer(id core.TimerID) {
+	switch id.Name {
+	case timerBatch:
+		if id.Seq == t.height && t.proposer(t.height, t.round) == t.env.ID() {
+			t.propose()
+		}
+	case timerNewHeight:
+		if id.Seq == t.height && t.proposer(t.height, t.round) == t.env.ID() {
+			t.deltaDone = true
+			if len(t.mempool) > 0 || t.locked {
+				t.propose()
+			}
+		}
+	case timerPropose:
+		if id.Seq == t.height && id.View == types.View(t.round) {
+			st := t.state(t.height, t.round)
+			t.sendVote(votePrevote, types.ZeroDigest, st) // prevote nil
+			t.env.SetTimer(core.TimerID{Name: timerPrevote, View: types.View(t.round), Seq: t.height},
+				t.env.Config().ViewChangeTimeout)
+		}
+	case timerPrevote:
+		if id.Seq == t.height && id.View == types.View(t.round) {
+			st := t.state(t.height, t.round)
+			t.sendVote(votePrecommit, types.ZeroDigest, st) // precommit nil
+			t.env.SetTimer(core.TimerID{Name: timerPrecommit, View: types.View(t.round), Seq: t.height},
+				t.env.Config().ViewChangeTimeout)
+		}
+	case timerPrecommit:
+		if id.Seq == t.height && id.View == types.View(t.round) {
+			t.nextRound()
+		}
+	}
+}
+
+// OnExecuted implements core.Protocol.
+func (t *Tendermint) OnExecuted(seq types.SeqNum, batch *types.Batch, results [][]byte) {
+	for i, req := range batch.Requests {
+		delete(t.memSet, req.Key())
+		t.done[req.Key()] = true
+		t.env.Reply(&types.Reply{
+			Client:    req.Client,
+			ClientSeq: req.ClientSeq,
+			View:      types.View(seq),
+			Seq:       seq,
+			Result:    results[i],
+		})
+	}
+	t.cm.OnExecuted(seq)
+}

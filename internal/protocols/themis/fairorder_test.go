@@ -1,0 +1,121 @@
+package themis_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bftkit/internal/protocols/themis"
+	"bftkit/internal/types"
+)
+
+// genReports builds n random local orders over k requests.
+func genReports(rng *rand.Rand, n, k int) ([]*themis.ReportMsg, []*types.Request) {
+	reqs := make([]*types.Request, k)
+	for i := range reqs {
+		reqs[i] = &types.Request{Client: types.ClientIDBase + types.NodeID(i), ClientSeq: 1}
+	}
+	reports := make([]*themis.ReportMsg, n)
+	for r := range reports {
+		perm := rng.Perm(k)
+		ordered := make([]*types.Request, k)
+		for i, p := range perm {
+			ordered[i] = reqs[p]
+		}
+		reports[r] = &themis.ReportMsg{Origin: types.NodeID(r), Reqs: ordered}
+	}
+	return reports, reqs
+}
+
+func TestFairOrderPermutationInvariant(t *testing.T) {
+	// Property: the fair order is a deterministic function of the report
+	// SET — shuffling the slice must not change the result. (Backups
+	// verify the leader's order by recomputing it; any slice-order
+	// dependence would make honest proposals unverifiable.)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reports, _ := genReports(rng, 4, 6)
+		a := themis.FairOrder(reports, nil)
+		perm := rng.Perm(len(reports))
+		shuffled := make([]*themis.ReportMsg, len(reports))
+		for i, p := range perm {
+			shuffled[i] = reports[p]
+		}
+		b := themis.FairOrder(shuffled, nil)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Key() != b[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairOrderCoversUnion(t *testing.T) {
+	// Property: every reported request appears exactly once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reports, reqs := genReports(rng, 5, 7)
+		out := themis.FairOrder(reports, nil)
+		if len(out) != len(reqs) {
+			return false
+		}
+		seen := make(map[types.RequestKey]bool)
+		for _, r := range out {
+			if seen[r.Key()] {
+				return false
+			}
+			seen[r.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairOrderUnanimityRespected(t *testing.T) {
+	// Property (the γ=1 core): a request every single report places
+	// first is ordered first.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reports, reqs := genReports(rng, 4, 5)
+		first := reqs[0]
+		for _, rep := range reports {
+			// Move `first` to the front of every report.
+			out := []*types.Request{first}
+			for _, r := range rep.Reqs {
+				if r.Key() != first.Key() {
+					out = append(out, r)
+				}
+			}
+			rep.Reqs = out
+		}
+		ordered := themis.FairOrder(reports, nil)
+		return len(ordered) > 0 && ordered[0].Key() == first.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairOrderSkipFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reports, reqs := genReports(rng, 4, 5)
+	skipKey := reqs[2].Key()
+	out := themis.FairOrder(reports, func(k types.RequestKey) bool { return k == skipKey })
+	if len(out) != len(reqs)-1 {
+		t.Fatalf("skip filter: %d of %d survive", len(out), len(reqs))
+	}
+	for _, r := range out {
+		if r.Key() == skipKey {
+			t.Fatal("skipped request still ordered")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package themis
+
+import (
+	"sort"
+
+	"bftkit/internal/core"
+	"bftkit/internal/types"
+)
+
+// View change: plurality pick over prepared slots plus carried committed
+// slots, as in the other stable-leader protocols of this repository. With
+// n = 4f+1 and quorums of 3f+1, a committed slot intersects any 3f+1
+// view-change quorum in at least 2f+1 replicas, at least f+1 honest — a
+// strict plurality over anything f Byzantine replicas can fabricate.
+// Re-proposed slots skip fair-order re-validation (their reports were
+// checked when first proposed and the prepared certificate pins them).
+
+func (t *Themis) startViewChange(v types.View) {
+	if v <= t.view {
+		v = t.view + 1
+	}
+	if t.inViewChange && v <= t.targetView {
+		return
+	}
+	t.inViewChange = true
+	t.targetView = v
+	t.disarmProgress()
+
+	vc := &ViewChangeMsg{
+		NewView: v,
+		Base:    t.env.Ledger().LastExecuted(),
+		Replica: t.env.ID(),
+	}
+	for _, e := range t.env.Ledger().CommittedAbove(t.env.Ledger().LowWater()) {
+		cs := CommittedSlot{View: e.View, Seq: e.Seq, Batch: e.Batch}
+		if e.Proof != nil {
+			cs.Voters = e.Proof.Voters
+		}
+		vc.Committed = append(vc.Committed, cs)
+	}
+	for seq, proof := range t.preparedProof {
+		if seq > vc.Base {
+			vc.Prepared = append(vc.Prepared, *proof)
+		}
+	}
+	vc.Sig = t.env.Signer().Sign(vc.SigDigest())
+	t.recordVC(t.env.ID(), vc)
+	t.env.Broadcast(vc)
+	t.env.SetTimer(core.TimerID{Name: timerVCRetry, View: v}, t.env.Config().ViewChangeTimeout)
+}
+
+func (t *Themis) recordVC(from types.NodeID, m *ViewChangeMsg) {
+	set := t.vcs[m.NewView]
+	if set == nil {
+		set = make(map[types.NodeID]*ViewChangeMsg)
+		t.vcs[m.NewView] = set
+	}
+	set[from] = m
+}
+
+func (t *Themis) onViewChange(from types.NodeID, m *ViewChangeMsg) {
+	if m.Replica != from || m.NewView <= t.view {
+		return
+	}
+	if !t.env.Verifier().VerifySig(from, m.SigDigest(), m.Sig) {
+		return
+	}
+	t.recordVC(from, m)
+	if !t.inViewChange || m.NewView > t.targetView {
+		ahead := 0
+		for v, set := range t.vcs {
+			if v > t.view {
+				ahead += len(set)
+			}
+		}
+		if ahead >= t.env.F()+1 {
+			t.startViewChange(m.NewView)
+		}
+	}
+	t.maybeNewView(m.NewView)
+}
+
+func (t *Themis) maybeNewView(v types.View) {
+	if t.env.Config().LeaderOf(v) != t.env.ID() || t.sentNewView[v] {
+		return
+	}
+	set := t.vcs[v]
+	if len(set) < t.quorum() {
+		return
+	}
+	t.sentNewView[v] = true
+
+	var base, maxS types.SeqNum
+	committed := make(map[types.SeqNum]*CommittedSlot)
+	votes := make(map[types.SeqNum]map[types.Digest]int)
+	batches := make(map[types.SeqNum]map[types.Digest]*types.Batch)
+	var vcList []*ViewChangeMsg
+	for _, vc := range set {
+		vcList = append(vcList, vc)
+		if vc.Base > base {
+			base = vc.Base
+		}
+		for i := range vc.Committed {
+			s := &vc.Committed[i]
+			if committed[s.Seq] == nil {
+				committed[s.Seq] = s
+			}
+		}
+		for _, s := range vc.Prepared {
+			if s.Batch == nil || s.Batch.Digest() != s.Digest {
+				continue
+			}
+			if votes[s.Seq] == nil {
+				votes[s.Seq] = make(map[types.Digest]int)
+				batches[s.Seq] = make(map[types.Digest]*types.Batch)
+			}
+			votes[s.Seq][s.Digest]++
+			batches[s.Seq][s.Digest] = s.Batch
+			if s.Seq > maxS {
+				maxS = s.Seq
+			}
+		}
+	}
+	// A slot committed anywhere has 3f+1 prepared witnesses, at least
+	// 2f+1 of them honest — always a strict majority of any view-change
+	// quorum. Prefer the plurality; committed carries override.
+	nv := &NewViewMsg{View: v, Base: base, ViewChanges: vcList}
+	for seq := types.SeqNum(1); seq <= base; seq++ {
+		if s := committed[seq]; s != nil {
+			nv.Committed = append(nv.Committed, *s)
+		}
+	}
+	for seq := base + 1; seq <= maxS; seq++ {
+		var batch *types.Batch
+		best := 0
+		for d, n := range votes[seq] {
+			if n > best {
+				best, batch = n, batches[seq][d]
+			}
+		}
+		if batch == nil {
+			batch = types.NewBatch()
+		}
+		prop := &ProposalMsg{View: v, Seq: seq, Batch: batch}
+		prop.Sig = t.env.Signer().Sign(prop.SigDigest())
+		nv.Proposals = append(nv.Proposals, prop)
+	}
+	nv.Sig = t.env.Signer().Sign(nv.SigDigest())
+	t.env.Broadcast(nv)
+	t.installNewView(nv)
+}
+
+func (t *Themis) onNewView(from types.NodeID, m *NewViewMsg) {
+	if m.View < t.view || (m.View == t.view && !t.inViewChange) {
+		return
+	}
+	if from != t.env.Config().LeaderOf(m.View) {
+		return
+	}
+	if !t.env.Verifier().VerifySig(from, m.SigDigest(), m.Sig) {
+		return
+	}
+	if len(m.ViewChanges) < t.quorum() {
+		return
+	}
+	seen := make(map[types.NodeID]bool)
+	for _, vc := range m.ViewChanges {
+		if vc.NewView != m.View || seen[vc.Replica] {
+			return
+		}
+		if !t.env.Verifier().VerifySig(vc.Replica, vc.SigDigest(), vc.Sig) {
+			return
+		}
+		seen[vc.Replica] = true
+	}
+	t.installNewView(m)
+}
+
+func (t *Themis) installNewView(m *NewViewMsg) {
+	t.view = m.View
+	t.inViewChange = false
+	t.slots = make(map[types.SeqNum]*slot)
+	t.reports = make(map[types.NodeID]*ReportMsg)
+	t.env.StopTimer(core.TimerID{Name: timerVCRetry, View: m.View})
+	t.env.ViewChanged(m.View)
+
+	if t.nextSeq < m.Base {
+		t.nextSeq = m.Base
+	}
+	for i := range m.Committed {
+		s := &m.Committed[i]
+		if s.Seq > t.env.Ledger().LastExecuted() {
+			proof := &types.CommitProof{View: s.View, Seq: s.Seq, Digest: s.Batch.Digest(),
+				Voters: append([]types.NodeID(nil), s.Voters...)}
+			t.env.Commit(s.View, s.Seq, s.Batch, proof)
+		}
+	}
+	for _, prop := range m.Proposals {
+		if prop.Seq > t.nextSeq {
+			t.nextSeq = prop.Seq
+		}
+		if prop.Seq > t.env.Ledger().LastExecuted() {
+			t.acceptProposal(t.env.Config().LeaderOf(m.View), prop, true)
+		}
+	}
+	for v := range t.vcs {
+		if v <= m.View {
+			delete(t.vcs, v)
+		}
+	}
+	// Requests that were pinned to lost proposals become orderable
+	// again, and everything unexecuted is re-reported to the new leader
+	// (the old leader may have swallowed the original reports).
+	t.ordered = make(map[types.RequestKey]bool)
+	t.local = t.local[:0]
+	for key, req := range t.seenReq {
+		if !t.done[key] {
+			t.local = append(t.local, req)
+		} else {
+			delete(t.seenReq, key)
+		}
+	}
+	sort.Slice(t.local, func(i, j int) bool { return t.local[i].ArrivalHint < t.local[j].ArrivalHint })
+	if len(t.local) > 0 {
+		t.roundArmed = true
+		t.env.SetTimer(core.TimerID{Name: timerRound}, t.env.Config().BatchTimeout)
+	}
+	if len(t.watch) > 0 {
+		t.armProgress()
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+type probeMsg struct{ N int }
+
+func (*probeMsg) Kind() string { return "PROBE" }
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.After(1*time.Millisecond, func() { got = append(got, 1) })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Run(10 * time.Millisecond)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakBySchedulingOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunUntilIdle(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	tm.Stop()
+	s.RunUntilIdle(time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	s.After(5*time.Millisecond, func() { fired = true })
+	s.Run(4 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond the boundary fired")
+	}
+	s.Run(6 * time.Millisecond)
+	if !fired {
+		t.Fatal("event within the boundary missed")
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond})
+	var got []types.Message
+	n.Register(1, HandlerFunc(func(from types.NodeID, m types.Message) {
+		got = append(got, m)
+	}))
+	n.Send(0, 1, &probeMsg{N: 7})
+	s.RunUntilIdle(time.Second)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	d, drop := n.Totals()
+	if d != 1 || drop != 0 {
+		t.Fatalf("totals %d/%d", d, drop)
+	}
+}
+
+func TestCrashSilencesNode(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond})
+	delivered := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { delivered++ }))
+	n.Crash(1)
+	n.Send(0, 1, &probeMsg{})
+	n.Crash(0)
+	n.Send(0, 2, &probeMsg{})
+	s.RunUntilIdle(time.Second)
+	if delivered != 0 {
+		t.Fatal("crashed node received traffic")
+	}
+	if _, dropped := n.Totals(); dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	n.Restart(1)
+	n.Send(2, 1, &probeMsg{})
+	s.RunUntilIdle(time.Second)
+	if delivered != 1 {
+		t.Fatal("restarted node unreachable")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond})
+	delivered := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { delivered++ }))
+	n.Partition([]types.NodeID{0}, []types.NodeID{1})
+	n.Send(0, 1, &probeMsg{})
+	s.RunUntilIdle(time.Second)
+	if delivered != 0 {
+		t.Fatal("message crossed the partition")
+	}
+	n.Heal()
+	n.Send(0, 1, &probeMsg{})
+	s.RunUntilIdle(2 * time.Second)
+	if delivered != 1 {
+		t.Fatal("healed partition still blocks")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond, DropRate: 0.5})
+	delivered := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { delivered++ }))
+	for i := 0; i < 1000; i++ {
+		n.Send(0, 1, &probeMsg{N: i})
+	}
+	s.RunUntilIdle(time.Minute)
+	if delivered < 350 || delivered > 650 {
+		t.Fatalf("drop rate off: %d of 1000 delivered", delivered)
+	}
+}
+
+func TestPreGSTBehavior(t *testing.T) {
+	cfg := NetConfig{
+		Delay: time.Millisecond, GST: time.Second,
+		PreGSTMaxDelay: 500 * time.Millisecond, PreGSTDropRate: 1.0,
+	}
+	s := NewScheduler(1)
+	n := NewNetwork(s, cfg)
+	delivered := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { delivered++ }))
+	n.Send(0, 1, &probeMsg{}) // before GST: dropped (rate 1.0)
+	s.Run(2 * time.Second)
+	if delivered != 0 {
+		t.Fatal("pre-GST message survived a 100% drop rate")
+	}
+	n.Send(0, 1, &probeMsg{}) // after GST: normal
+	s.RunUntilIdle(3 * time.Second)
+	if delivered != 1 {
+		t.Fatal("post-GST message lost")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []int {
+		s := NewScheduler(99)
+		n := NewNetwork(s, NetConfig{Delay: time.Millisecond, Jitter: time.Millisecond, DropRate: 0.2})
+		var got []int
+		n.Register(1, HandlerFunc(func(_ types.NodeID, m types.Message) {
+			got = append(got, m.(*probeMsg).N)
+		}))
+		for i := 0; i < 100; i++ {
+			n.Send(0, 1, &probeMsg{N: i})
+		}
+		s.RunUntilIdle(time.Minute)
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic delivery order")
+		}
+	}
+}
+
+type sizedMsg struct{}
+
+func (*sizedMsg) Kind() string     { return "SIZED" }
+func (*sizedMsg) EncodedSize() int { return 12345 }
+
+func TestSizeAccounting(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond})
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) {}))
+	n.Send(0, 1, &sizedMsg{})
+	s.RunUntilIdle(time.Second)
+	if st := n.Stats(0); st.BytesSent != 12345 {
+		t.Fatalf("Sizer override ignored: %d bytes", st.BytesSent)
+	}
+	_, bytes := n.KindCounts()
+	if bytes["SIZED"] != 12345 {
+		t.Fatalf("kind bytes %v", bytes)
+	}
+}
+
+type interceptDrop struct{}
+
+func (interceptDrop) OnSend(from, to types.NodeID, m types.Message) Action {
+	if to == 1 {
+		return Action{Drop: true}
+	}
+	return Action{}
+}
+
+func TestInterceptor(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond})
+	delivered := map[types.NodeID]int{}
+	for _, id := range []types.NodeID{1, 2} {
+		id := id
+		n.Register(id, HandlerFunc(func(types.NodeID, types.Message) { delivered[id]++ }))
+	}
+	n.SetInterceptor(interceptDrop{})
+	n.Send(0, 1, &probeMsg{})
+	n.Send(0, 2, &probeMsg{})
+	s.RunUntilIdle(time.Second)
+	if delivered[1] != 0 || delivered[2] != 1 {
+		t.Fatalf("interceptor misapplied: %v", delivered)
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond, DuplicateRate: 1.0})
+	got := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { got++ }))
+	n.Send(0, 1, &probeMsg{})
+	s.RunUntilIdle(time.Second)
+	if got != 2 {
+		t.Fatalf("DuplicateRate=1 delivered %d copies, want 2", got)
+	}
+}

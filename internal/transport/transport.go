@@ -1,0 +1,243 @@
+// Package transport runs replicas and clients over real TCP connections —
+// the "easy local multi-node" deployment path. It implements core.Driver:
+// every inbound message and timer callback is funneled through a single
+// event loop per node, so protocol code keeps the same single-threaded
+// contract it has on the simulator.
+//
+// Wire format: gob-encoded envelopes on persistent connections. All
+// protocol message types are registered in wire.go.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+// Envelope frames one message on the wire.
+type Envelope struct {
+	From types.NodeID
+	Msg  types.Message
+}
+
+// Handler receives delivered messages (core.Replica and core.Client
+// satisfy it).
+type Handler interface {
+	Deliver(from types.NodeID, m types.Message)
+}
+
+// Node is one TCP participant: it listens for peers, keeps outbound
+// connections, and serializes all activity through its event loop.
+type Node struct {
+	id    types.NodeID
+	peers map[types.NodeID]string
+	start time.Time
+	rng   *rand.Rand
+
+	events  chan func()
+	handler Handler
+
+	mu    sync.Mutex
+	conns map[types.NodeID]*gob.Encoder
+
+	listener net.Listener
+	done     chan struct{}
+}
+
+// NewNode creates a node addressed by id with a static peer table
+// (id → "host:port" for every participant, including this one).
+func NewNode(id types.NodeID, peers map[types.NodeID]string, seed int64) *Node {
+	return &Node{
+		id:     id,
+		peers:  peers,
+		start:  time.Now(),
+		rng:    rand.New(rand.NewSource(seed ^ int64(id))),
+		events: make(chan func(), 4096),
+		conns:  make(map[types.NodeID]*gob.Encoder),
+		done:   make(chan struct{}),
+	}
+}
+
+// SetHandler installs the delivery target (must be set before Start).
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Start listens on the node's own address and runs the event loop until
+// Stop. It returns once the listener is ready.
+func (n *Node) Start() error {
+	addr, ok := n.peers[n.id]
+	if !ok {
+		return fmt.Errorf("transport: no address for self (%v)", n.id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n.listener = ln
+	go n.acceptLoop()
+	go n.eventLoop()
+	return nil
+}
+
+// Stop shuts the node down.
+func (n *Node) Stop() {
+	close(n.done)
+	if n.listener != nil {
+		n.listener.Close()
+	}
+}
+
+func (n *Node) eventLoop() {
+	for {
+		select {
+		case fn := <-n.events:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var adopted bool
+	enc := gob.NewEncoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if !adopted {
+			// Adopt the inbound connection as the return path to the
+			// sender — clients are not in the static peer table, so
+			// replies must flow back over the connection the request
+			// arrived on.
+			adopted = true
+			n.mu.Lock()
+			if _, ok := n.conns[env.From]; !ok {
+				n.conns[env.From] = enc
+			}
+			n.mu.Unlock()
+		}
+		msg := env.Msg
+		from := env.From
+		select {
+		case n.events <- func() { n.handler.Deliver(from, msg) }:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// --- core.Driver ---
+
+// Now implements core.Driver (elapsed wall-clock time).
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Rand implements core.Driver.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// After implements core.Driver: the callback is serialized through the
+// event loop like every other event.
+func (n *Node) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, func() {
+		select {
+		case n.events <- fn:
+		case <-n.done:
+		}
+	})
+	return func() { t.Stop() }
+}
+
+// Send implements core.Driver: best-effort delivery over a persistent
+// connection, re-dialed on failure (the network is allowed to be lossy —
+// the protocols are built for that).
+func (n *Node) Send(from, to types.NodeID, m types.Message) {
+	enc := n.conn(to)
+	if enc == nil {
+		return
+	}
+	if err := enc.Encode(&Envelope{From: from, Msg: m}); err != nil {
+		n.dropConn(to)
+	}
+}
+
+func (n *Node) conn(to types.NodeID) *gob.Encoder {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if enc, ok := n.conns[to]; ok {
+		return enc
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil
+	}
+	enc := gob.NewEncoder(c)
+	n.conns[to] = enc
+	// Connections are bidirectional: the peer may answer (or push) on
+	// the same socket — e.g. replicas replying to a client over the
+	// connection its request arrived on.
+	go n.readLoop(c)
+	return enc
+}
+
+func (n *Node) dropConn(to types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.conns, to)
+}
+
+// ParsePeers parses "0=host:port,1=host:port,..." into a peer table.
+func ParsePeers(s string) (map[types.NodeID]string, error) {
+	peers := make(map[types.NodeID]string)
+	if s == "" {
+		return nil, fmt.Errorf("empty peer table")
+	}
+	for _, part := range splitNonEmpty(s, ',') {
+		var id int
+		var addr string
+		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		peers[types.NodeID(id)] = addr
+	}
+	return peers, nil
+}
+
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

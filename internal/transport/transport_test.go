@@ -1,0 +1,138 @@
+package transport_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/crypto"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/transport"
+	"bftkit/internal/types"
+)
+
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestPBFTOverTCP(t *testing.T) {
+	reg, ok := core.Lookup("pbft")
+	if !ok {
+		t.Fatal("pbft not registered")
+	}
+	addrs := freePorts(t, 5)
+	// Replicas only know each other; the client is NOT in their peer
+	// table — replies must flow back over the adopted inbound
+	// connections, exactly as in a real deployment.
+	replicaPeers := make(map[types.NodeID]string)
+	for i := 0; i < 4; i++ {
+		replicaPeers[types.NodeID(i)] = addrs[i]
+	}
+	clientID := types.ClientIDBase
+	clientPeers := make(map[types.NodeID]string)
+	for id, a := range replicaPeers {
+		clientPeers[id] = a
+	}
+	clientPeers[clientID] = addrs[4]
+
+	cfg := core.DefaultConfig(4)
+	cfg.Scheme = reg.Profile.AuthOrdering
+	auth := crypto.NewAuthority(1)
+
+	var nodes []*transport.Node
+	for i := 0; i < 4; i++ {
+		id := types.NodeID(i)
+		node := transport.NewNode(id, replicaPeers, 1)
+		rep := core.NewReplica(id, cfg, node, reg.NewReplica(cfg), kvstore.New(), auth, core.Hooks{})
+		node.SetHandler(rep)
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+		rep.Start()
+		nodes = append(nodes, node)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	clientNode := transport.NewNode(clientID, clientPeers, 1)
+	done := make(chan []byte, 16)
+	client := core.NewClient(clientID, cfg, clientNode, reg.ClientFor(cfg), auth, core.ClientHooks{
+		OnDone: func(_ types.NodeID, _ *types.Request, result []byte, _ time.Duration) {
+			done <- result
+		},
+	})
+	clientNode.SetHandler(client)
+	if err := clientNode.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer clientNode.Stop()
+	client.Start()
+
+	for i := 1; i <= 10; i++ {
+		op := kvstore.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+		client.Submit(&types.Request{ClientSeq: uint64(i), Op: op})
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %d timed out over TCP", i)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := transport.ParsePeers("0=host-a:7000,1=:7001,2=10.0.0.2:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0] != "host-a:7000" || peers[1] != ":7001" || peers[2] != "10.0.0.2:7002" {
+		t.Fatalf("parsed %v", peers)
+	}
+	for _, bad := range []string{"", "x=1", "0", "0:7000"} {
+		if _, err := transport.ParsePeers(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestNodeTimers(t *testing.T) {
+	addrs := freePorts(t, 1)
+	node := transport.NewNode(0, map[types.NodeID]string{0: addrs[0]}, 1)
+	node.SetHandler(transportNopHandler{})
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	fired := make(chan struct{}, 2)
+	node.After(10*time.Millisecond, func() { fired <- struct{}{} })
+	cancel := node.After(10*time.Millisecond, func() { fired <- struct{}{} })
+	cancel()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	select {
+	case <-fired:
+		t.Fatal("cancelled timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+type transportNopHandler struct{}
+
+func (transportNopHandler) Deliver(types.NodeID, types.Message) {}

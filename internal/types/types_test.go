@@ -1,0 +1,125 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDRanges(t *testing.T) {
+	if NodeID(0).IsClient() || NodeID(9999).IsClient() {
+		t.Fatal("replica IDs must not classify as clients")
+	}
+	if !ClientIDBase.IsClient() {
+		t.Fatal("ClientIDBase must classify as a client")
+	}
+	if got := NodeID(3).String(); got != "r3" {
+		t.Fatalf("replica rendering: %q", got)
+	}
+	if got := (ClientIDBase + 2).String(); got != "c2" {
+		t.Fatalf("client rendering: %q", got)
+	}
+}
+
+func TestRequestDigestExcludesSignature(t *testing.T) {
+	a := &Request{Client: ClientIDBase, ClientSeq: 1, Op: []byte("x"), Sig: []byte("sig1")}
+	b := &Request{Client: ClientIDBase, ClientSeq: 1, Op: []byte("x"), Sig: []byte("sig2")}
+	if a.Digest() != b.Digest() {
+		t.Fatal("signature must not affect the request digest")
+	}
+}
+
+func TestRequestDigestSensitivity(t *testing.T) {
+	base := &Request{Client: ClientIDBase, ClientSeq: 1, Op: []byte("x")}
+	variants := []*Request{
+		{Client: ClientIDBase + 1, ClientSeq: 1, Op: []byte("x")},
+		{Client: ClientIDBase, ClientSeq: 2, Op: []byte("x")},
+		{Client: ClientIDBase, ClientSeq: 1, Op: []byte("y")},
+		{Client: ClientIDBase, ClientSeq: 1, Op: []byte("x"), ArrivalHint: 7},
+	}
+	for i, v := range variants {
+		if v.Digest() == base.Digest() {
+			t.Fatalf("variant %d collides with base digest", i)
+		}
+	}
+}
+
+func TestBatchDigest(t *testing.T) {
+	r1 := &Request{Client: ClientIDBase, ClientSeq: 1, Op: []byte("a")}
+	r2 := &Request{Client: ClientIDBase, ClientSeq: 2, Op: []byte("b")}
+	if NewBatch().Digest() != ZeroDigest {
+		t.Fatal("empty batch must have the zero digest")
+	}
+	if NewBatch(r1, r2).Digest() == NewBatch(r2, r1).Digest() {
+		t.Fatal("batch digest must be order-sensitive")
+	}
+	var nilBatch *Batch
+	if nilBatch.Digest() != ZeroDigest || nilBatch.Len() != 0 {
+		t.Fatal("nil batch must behave as empty")
+	}
+}
+
+func TestReplyDigestExcludesReplica(t *testing.T) {
+	a := &Reply{Replica: 0, Client: ClientIDBase, ClientSeq: 1, Seq: 5, Result: []byte("r")}
+	b := &Reply{Replica: 3, Client: ClientIDBase, ClientSeq: 1, Seq: 5, Result: []byte("r")}
+	if a.Digest() != b.Digest() {
+		t.Fatal("matching replies from different replicas must share a digest")
+	}
+	c := &Reply{Replica: 0, Client: ClientIDBase, ClientSeq: 1, Seq: 5, Result: []byte("r"), Speculative: true}
+	if a.Digest() == c.Digest() {
+		t.Fatal("speculative flag must be part of the digest")
+	}
+}
+
+func TestNormalizeVoters(t *testing.T) {
+	p := &CommitProof{Voters: []NodeID{3, 1, 3, 0, 1}}
+	p.NormalizeVoters()
+	want := []NodeID{0, 1, 3}
+	if len(p.Voters) != len(want) {
+		t.Fatalf("got %v", p.Voters)
+	}
+	for i := range want {
+		if p.Voters[i] != want[i] {
+			t.Fatalf("got %v, want %v", p.Voters, want)
+		}
+	}
+}
+
+func TestQuorumArithmetic(t *testing.T) {
+	// Property: at every n = 3f+1, two 2f+1 quorums intersect in at
+	// least f+1 replicas — the honest-intersection bedrock of BFT.
+	f := func(raw uint8) bool {
+		ft := int(raw%20) + 1
+		n := 3*ft + 1
+		if FaultThreshold(n) != ft {
+			return false
+		}
+		q := QuorumSize(ft)
+		return 2*q-n >= ft+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasherDeterminism(t *testing.T) {
+	f := func(a uint64, b []byte, s string) bool {
+		var h1, h2 Hasher
+		h1.U64(a).Bytes(b).Str(s)
+		h2.U64(a).Bytes(b).Str(s)
+		return h1.Sum() == h2.Sum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasherFieldBoundaries(t *testing.T) {
+	// Length prefixes must prevent concatenation ambiguity: ("ab","c")
+	// and ("a","bc") must hash differently.
+	var h1, h2 Hasher
+	h1.Str("ab").Str("c")
+	h2.Str("a").Str("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("field boundary collision")
+	}
+}
