@@ -1,0 +1,19 @@
+.PHONY: check build test race vet bench
+
+check: ## vet + build + race-enabled tests (what CI runs)
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench: ## trace-overhead + protocol benchmarks
+	go test -bench=. -benchmem -run=^$$ .

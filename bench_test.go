@@ -1,5 +1,5 @@
 // Benchmarks wrapping the experiment harness: one testing.B benchmark per
-// table/figure of EXPERIMENTS.md (X1–X14), plus micro-benchmarks for the
+// table/figure of EXPERIMENTS.md (X1–X15), plus micro-benchmarks for the
 // substrates. Experiment benchmarks report virtual-time metrics through
 // b.ReportMetric where meaningful; their full tables are printed by
 // `go run ./cmd/bftbench`.
@@ -13,7 +13,9 @@ import (
 
 	"bftkit/internal/crypto"
 	"bftkit/internal/experiments"
+	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
+	"bftkit/internal/obsv"
 	"bftkit/internal/sim"
 	"bftkit/internal/types"
 )
@@ -29,22 +31,23 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkX01DesignSpace(b *testing.B)          { benchExperiment(b, "X1") }
-func BenchmarkX02GoodCaseLatency(b *testing.B)      { benchExperiment(b, "X2") }
-func BenchmarkX03MessageComplexity(b *testing.B)    { benchExperiment(b, "X3") }
+func BenchmarkX01DesignSpace(b *testing.B)               { benchExperiment(b, "X1") }
+func BenchmarkX02GoodCaseLatency(b *testing.B)           { benchExperiment(b, "X2") }
+func BenchmarkX03MessageComplexity(b *testing.B)         { benchExperiment(b, "X3") }
 func BenchmarkX04ThroughputLatencyTradeoff(b *testing.B) { benchExperiment(b, "X4") }
-func BenchmarkX05ViewChange(b *testing.B)           { benchExperiment(b, "X5") }
-func BenchmarkX06OptimisticFallback(b *testing.B)   { benchExperiment(b, "X6") }
-func BenchmarkX07ConflictFree(b *testing.B)         { benchExperiment(b, "X7") }
-func BenchmarkX08OrderFairness(b *testing.B)        { benchExperiment(b, "X8") }
-func BenchmarkX09LoadBalancing(b *testing.B)        { benchExperiment(b, "X9") }
-func BenchmarkX10Authentication(b *testing.B)       { benchExperiment(b, "X10") }
-func BenchmarkX11Responsiveness(b *testing.B)       { benchExperiment(b, "X11") }
-func BenchmarkX12PhaseVsReplicas(b *testing.B)      { benchExperiment(b, "X12") }
-func BenchmarkX13CheckpointRecovery(b *testing.B)   { benchExperiment(b, "X13") }
-func BenchmarkX14RobustUnderAttack(b *testing.B)    { benchExperiment(b, "X14") }
+func BenchmarkX05ViewChange(b *testing.B)                { benchExperiment(b, "X5") }
+func BenchmarkX06OptimisticFallback(b *testing.B)        { benchExperiment(b, "X6") }
+func BenchmarkX07ConflictFree(b *testing.B)              { benchExperiment(b, "X7") }
+func BenchmarkX08OrderFairness(b *testing.B)             { benchExperiment(b, "X8") }
+func BenchmarkX09LoadBalancing(b *testing.B)             { benchExperiment(b, "X9") }
+func BenchmarkX10Authentication(b *testing.B)            { benchExperiment(b, "X10") }
+func BenchmarkX11Responsiveness(b *testing.B)            { benchExperiment(b, "X11") }
+func BenchmarkX12PhaseVsReplicas(b *testing.B)           { benchExperiment(b, "X12") }
+func BenchmarkX13CheckpointRecovery(b *testing.B)        { benchExperiment(b, "X13") }
+func BenchmarkX14RobustUnderAttack(b *testing.B)         { benchExperiment(b, "X14") }
+func BenchmarkX15PhaseAccounting(b *testing.B)           { benchExperiment(b, "X15") }
 
-func BenchmarkA01BatchingAblation(b *testing.B)     { benchExperiment(b, "A1") }
+func BenchmarkA01BatchingAblation(b *testing.B)         { benchExperiment(b, "A1") }
 func BenchmarkA02LeaderReputationAblation(b *testing.B) { benchExperiment(b, "A2") }
 func BenchmarkA03ProgressTimerAblation(b *testing.B)    { benchExperiment(b, "A3") }
 
@@ -117,5 +120,44 @@ func BenchmarkRequestDigest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req.Digest()
+	}
+}
+
+// --- trace-overhead benchmarks ---
+//
+// The obsv layer promises near-zero cost when disabled: all Tracer
+// methods are nil-receiver-safe, so instrumented code paths carry only
+// a nil check. TraceDisabled vs TraceEnabled measures the end-to-end
+// cluster cost of that promise (disabled must stay within noise of the
+// pre-obsv baseline; enabled pays for counters + wire sizing).
+
+func benchTracedCluster(b *testing.B, tr *obsv.Tracer) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := harness.NewCluster(harness.Options{Protocol: "pbft", N: 4, Clients: 2, Trace: tr})
+		c.Start()
+		for j := 0; j < 20; j++ {
+			c.Submit(j%2, kvstore.Put(fmt.Sprintf("k%d", j), []byte("v")))
+		}
+		c.RunUntilIdle(10 * time.Second)
+		if err := c.Audit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDisabled(b *testing.B) { benchTracedCluster(b, nil) }
+
+func BenchmarkTraceEnabled(b *testing.B) {
+	benchTracedCluster(b, obsv.New(obsv.Options{}))
+}
+
+// BenchmarkTraceNilCall pins the cost of an instrumented call site when
+// tracing is off — a method call on a nil *Tracer, expected to inline
+// to a nil check.
+func BenchmarkTraceNilCall(b *testing.B) {
+	var tr *obsv.Tracer
+	for i := 0; i < b.N; i++ {
+		tr.CryptoOp(0, obsv.CryptoSign)
 	}
 }

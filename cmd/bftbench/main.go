@@ -7,9 +7,14 @@
 //	bftbench                 # run all experiments
 //	bftbench -experiment X4  # run one experiment
 //	bftbench -list           # list experiment IDs and titles
+//	bftbench -stats          # print a per-phase message/byte/crypto
+//	                         # breakdown after every cluster run
+//	bftbench -trace t.jsonl  # dump every trace event as JSON lines
+//	bftbench -csv phases.csv # per-node per-phase counters as CSV
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,9 @@ import (
 func main() {
 	one := flag.String("experiment", "", "run a single experiment by ID (e.g. X4)")
 	list := flag.Bool("list", false, "list experiments")
+	stats := flag.Bool("stats", false, "print per-phase breakdown after each run")
+	trace := flag.String("trace", "", "write JSON-lines trace events to this file")
+	csv := flag.String("csv", "", "write per-node per-phase counters to this CSV file")
 	flag.Parse()
 
 	if *list {
@@ -29,6 +37,31 @@ func main() {
 		}
 		return
 	}
+
+	if *stats {
+		experiments.Observe.Stats = os.Stdout
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		defer func() { w.Flush(); f.Close() }()
+		experiments.Observe.TraceJSON = w
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		defer func() { w.Flush(); f.Close() }()
+		experiments.Observe.CSV = w
+	}
+
 	if *one != "" {
 		e, ok := experiments.ByID(*one)
 		if !ok {

@@ -67,14 +67,14 @@ func main() {
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
-	client.Start()
+	node.Do(client.Start)
 
 	var latencies []time.Duration
 	for i := 1; i <= *requests; i++ {
 		op := kvstore.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("value-%d", i)))
 		req := &types.Request{ClientSeq: uint64(i), Op: op, ArrivalHint: int64(node.Now())}
 		start := time.Now()
-		client.Submit(req)
+		node.Do(func() { client.Submit(req) })
 		select {
 		case <-done:
 			latencies = append(latencies, time.Since(start))

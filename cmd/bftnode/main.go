@@ -23,6 +23,7 @@ import (
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/kvstore"
+	"bftkit/internal/obsv"
 	"bftkit/internal/transport"
 	"bftkit/internal/types"
 )
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deployment key seed (must match across nodes)")
 	f := flag.Int("f", 0, "fault threshold (0 = derive from n)")
 	verbose := flag.Bool("v", false, "log protocol traces")
+	stats := flag.Bool("stats", false, "print the per-phase message/byte/crypto breakdown on shutdown")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -61,7 +63,25 @@ func main() {
 
 	node := transport.NewNode(types.NodeID(*id), peers, *seed)
 	auth := crypto.NewAuthority(*seed)
+	var tracer *obsv.Tracer
+	if *stats {
+		tracer = obsv.New(obsv.Options{Label: fmt.Sprintf("%s/r%d", *proto, *id)})
+		node.SetTracer(tracer)
+		auth.SetObserver(func(nid types.NodeID, op crypto.Op) {
+			switch op {
+			case crypto.OpSign:
+				tracer.CryptoOp(nid, obsv.CryptoSign)
+			case crypto.OpVerify:
+				tracer.CryptoOp(nid, obsv.CryptoVerify)
+			case crypto.OpMAC:
+				tracer.CryptoOp(nid, obsv.CryptoMAC)
+			case crypto.OpMACVerify:
+				tracer.CryptoOp(nid, obsv.CryptoMACVerify)
+			}
+		})
+	}
 	hooks := core.Hooks{
+		Trace: tracer,
 		OnCommit: func(_ types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, _ *types.CommitProof, _ time.Duration) {
 			log.Printf("commit view=%d seq=%d (%d requests)", v, seq, b.Len())
 		},
@@ -77,11 +97,12 @@ func main() {
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
-	replica.Start()
+	node.Do(replica.Start)
 	fmt.Printf("bftnode %d (%s, n=%d, f=%d) listening on %s\n", *id, *proto, n, cfg.F, peers[types.NodeID(*id)])
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	node.Stop()
+	tracer.WriteSummary(os.Stdout)
 }

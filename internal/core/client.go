@@ -39,7 +39,7 @@ func NewClient(id types.NodeID, cfg Config, driver Driver, proto ClientProtocol,
 		driver:   driver,
 		proto:    proto,
 		signer:   auth.Signer(id),
-		verifier: auth.Verifier(),
+		verifier: auth.VerifierFor(id),
 		hooks:    hooks,
 		timers:   make(map[TimerID]func()),
 	}

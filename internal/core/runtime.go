@@ -7,6 +7,7 @@ import (
 
 	"bftkit/internal/crypto"
 	"bftkit/internal/ledger"
+	"bftkit/internal/obsv"
 	"bftkit/internal/types"
 )
 
@@ -33,6 +34,11 @@ type Hooks struct {
 	OnViolation func(id types.NodeID, err error)
 	// Logf receives replica trace output.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, receives commit/execute/view-change/timer
+	// events (message traffic is reported by the substrate, crypto ops by
+	// the authority). All Tracer methods are nil-receiver safe, so leaving
+	// this unset costs one predictable branch per event.
+	Trace *obsv.Tracer
 }
 
 // specEntry records one speculatively executed slot so it can later be
@@ -87,7 +93,7 @@ func NewReplica(id types.NodeID, cfg Config, driver Driver, proto Protocol,
 		app:      app,
 		led:      ledger.New(),
 		signer:   auth.Signer(id),
-		verifier: auth.Verifier(),
+		verifier: auth.VerifierFor(id),
 		hooks:    hooks,
 		timers:   make(map[TimerID]func()),
 		executed: make(map[types.RequestKey]bool),
@@ -173,6 +179,7 @@ func (r *Replica) SetTimer(id TimerID, d time.Duration) {
 			return
 		}
 		delete(r.timers, id)
+		r.hooks.Trace.TimerFired(r.Now(), r.id, id.Name, id.View, id.Seq)
 		r.proto.OnTimer(id)
 	})
 }
@@ -217,8 +224,11 @@ func (r *Replica) Commit(view types.View, seq types.SeqNum, b *types.Batch, proo
 		r.violation(err)
 		return
 	}
-	if fresh && r.hooks.OnCommit != nil {
-		r.hooks.OnCommit(r.id, view, seq, b, proof, r.Now())
+	if fresh {
+		r.hooks.Trace.Commit(r.Now(), r.id, view, seq)
+		if r.hooks.OnCommit != nil {
+			r.hooks.OnCommit(r.id, view, seq, b, proof, r.Now())
+		}
 	}
 	r.executeReady()
 }
@@ -244,6 +254,7 @@ func (r *Replica) executeReady() {
 			r.violation(err)
 			return
 		}
+		r.hooks.Trace.Execute(r.Now(), r.id, e.Seq)
 		if r.hooks.OnExecute != nil {
 			r.hooks.OnExecute(r.id, e.Seq, e.Batch, results, r.Now())
 		}
@@ -373,6 +384,7 @@ func (r *Replica) Reply(rp *types.Reply) {
 
 // ViewChanged implements Env.
 func (r *Replica) ViewChanged(v types.View) {
+	r.hooks.Trace.ViewChange(r.Now(), r.id, v)
 	if r.hooks.OnViewChange != nil {
 		r.hooks.OnViewChange(r.id, v, r.Now())
 	}

@@ -78,6 +78,22 @@ func (s *Stats) Snapshot() (sign, verify, mac, macVerify int64) {
 	return s.SignOps.Load(), s.VerifyOps.Load(), s.MACOps.Load(), s.MACVerifyOps.Load()
 }
 
+// Op labels one cryptographic operation for per-node observation.
+type Op int
+
+// Operation kinds reported to the authority's observer.
+const (
+	OpSign Op = iota
+	OpVerify
+	OpMAC
+	OpMACVerify
+)
+
+// Observer receives every crypto operation with the identity of the node
+// that performed it. node is -1 when the operation went through a handle
+// without identity (the legacy shared Verifier).
+type Observer func(node types.NodeID, op Op)
+
 // Authority owns the key material of one deployment: an Ed25519 keypair
 // per participant and a pairwise MAC key per (ordered) participant pair.
 // Keys are derived lazily and deterministically from the authority seed.
@@ -89,7 +105,20 @@ type Authority struct {
 	pubs    map[types.NodeID]ed25519.PublicKey
 	macKeys map[[2]types.NodeID][]byte
 
+	observer atomic.Value // Observer
+
 	Stats Stats
+}
+
+// SetObserver installs a per-operation callback (nil to remove). The
+// callback runs inline on the operating goroutine and must be cheap and
+// concurrency-safe under the TCP driver.
+func (a *Authority) SetObserver(o Observer) { a.observer.Store(o) }
+
+func (a *Authority) observe(node types.NodeID, op Op) {
+	if o, _ := a.observer.Load().(Observer); o != nil {
+		o(node, op)
+	}
 }
 
 // NewAuthority creates a deterministic key authority.
@@ -142,8 +171,13 @@ func (a *Authority) macKey(x, y types.NodeID) []byte {
 // Signer returns the signing handle for one participant.
 func (a *Authority) Signer(id types.NodeID) *Signer { return &Signer{auth: a, id: id} }
 
-// Verifier returns the shared verification handle.
-func (a *Authority) Verifier() *Verifier { return &Verifier{auth: a} }
+// Verifier returns a verification handle without caller identity;
+// observed operations are attributed to node -1. Prefer VerifierFor.
+func (a *Authority) Verifier() *Verifier { return &Verifier{auth: a, id: -1} }
+
+// VerifierFor returns the verification handle for one participant, so
+// verify operations are attributed to the node performing them.
+func (a *Authority) VerifierFor(id types.NodeID) *Verifier { return &Verifier{auth: a, id: id} }
 
 // Signer signs digests and computes MACs on behalf of one participant.
 type Signer struct {
@@ -158,6 +192,7 @@ func (s *Signer) ID() types.NodeID { return s.id }
 func (s *Signer) Sign(d types.Digest) []byte {
 	priv, _ := s.auth.keyFor(s.id)
 	s.auth.Stats.SignOps.Add(1)
+	s.auth.observe(s.id, OpSign)
 	return ed25519.Sign(priv, d[:])
 }
 
@@ -165,6 +200,7 @@ func (s *Signer) Sign(d types.Digest) []byte {
 func (s *Signer) MAC(to types.NodeID, d types.Digest) []byte {
 	key := s.auth.macKey(s.id, to)
 	s.auth.Stats.MACOps.Add(1)
+	s.auth.observe(s.id, OpMAC)
 	m := hmac.New(sha256.New, key)
 	m.Write(d[:])
 	return m.Sum(nil)
@@ -183,15 +219,19 @@ func (s *Signer) AuthVector(d types.Digest, peers []types.NodeID) [][]byte {
 	return out
 }
 
-// Verifier checks signatures and MACs against the authority's keys.
+// Verifier checks signatures and MACs against the authority's keys. The
+// id is the node doing the verifying (for op attribution), not the
+// claimed signer.
 type Verifier struct {
 	auth *Authority
+	id   types.NodeID
 }
 
 // VerifySig reports whether sig is a valid signature by id over d.
 func (v *Verifier) VerifySig(id types.NodeID, d types.Digest, sig []byte) bool {
 	_, pub := v.auth.keyFor(id)
 	v.auth.Stats.VerifyOps.Add(1)
+	v.auth.observe(v.id, OpVerify)
 	return ed25519.Verify(pub, d[:], sig)
 }
 
@@ -199,6 +239,7 @@ func (v *Verifier) VerifySig(id types.NodeID, d types.Digest, sig []byte) bool {
 func (v *Verifier) VerifyMAC(from, to types.NodeID, d types.Digest, mac []byte) bool {
 	key := v.auth.macKey(from, to)
 	v.auth.Stats.MACVerifyOps.Add(1)
+	v.auth.observe(v.id, OpMACVerify)
 	m := hmac.New(sha256.New, key)
 	m.Write(d[:])
 	return hmac.Equal(m.Sum(nil), mac)

@@ -14,6 +14,7 @@ import (
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/kvstore"
+	"bftkit/internal/obsv"
 	"bftkit/internal/sim"
 	"bftkit/internal/types"
 )
@@ -42,6 +43,10 @@ type Options struct {
 	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
 	// Verbose routes replica traces to the given printf.
 	Verbose func(format string, args ...any)
+	// Trace, when set, observes the whole deployment: every network
+	// send/delivery with wire bytes, every crypto op attributed to the
+	// node performing it, and commit/execute/view-change/timer events.
+	Trace *obsv.Tracer
 }
 
 // Cluster is a running simulated deployment.
@@ -136,6 +141,22 @@ func NewCluster(opts Options) *Cluster {
 		Metrics: NewMetrics(),
 	}
 	c.Net = sim.NewNetwork(c.Sched, opts.Net)
+	if tr := opts.Trace; tr != nil {
+		c.Metrics.Trace = tr
+		c.Net.SetTracer(tr)
+		c.Auth.SetObserver(func(node types.NodeID, op crypto.Op) {
+			switch op {
+			case crypto.OpSign:
+				tr.CryptoOp(node, obsv.CryptoSign)
+			case crypto.OpVerify:
+				tr.CryptoOp(node, obsv.CryptoVerify)
+			case crypto.OpMAC:
+				tr.CryptoOp(node, obsv.CryptoMAC)
+			case crypto.OpMACVerify:
+				tr.CryptoOp(node, obsv.CryptoMACVerify)
+			}
+		})
+	}
 
 	hooks := core.Hooks{
 		OnCommit:     c.Metrics.onCommit,
@@ -143,6 +164,7 @@ func NewCluster(opts Options) *Cluster {
 		OnViewChange: c.Metrics.onViewChange,
 		OnViolation:  c.Metrics.onViolation,
 		Logf:         opts.Verbose,
+		Trace:        opts.Trace,
 	}
 	for i := 0; i < n; i++ {
 		id := types.NodeID(i)

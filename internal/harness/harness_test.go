@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -97,12 +98,107 @@ func TestFairnessViolationCounting(t *testing.T) {
 func TestThroughputWindow(t *testing.T) {
 	m := NewMetrics()
 	m.MeasureFrom = time.Second
-	m.Latencies = []time.Duration{1, 2, 3} // three completions counted
+	k := func(i uint64) *types.Request {
+		return &types.Request{Client: types.ClientIDBase, ClientSeq: i}
+	}
+	// One warmup completion before MeasureFrom, three measured after.
+	m.onSubmit(k(1), 0)
+	m.onDone(0, k(1), nil, 500*time.Millisecond)
+	for i := uint64(2); i <= 4; i++ {
+		m.onSubmit(k(i), time.Second)
+		m.onDone(0, k(i), nil, time.Second+time.Duration(i)*time.Millisecond)
+	}
 	if tput := m.Throughput(2 * time.Second); tput != 3 {
 		t.Fatalf("throughput = %v, want 3 req/s over a 1s window", tput)
 	}
 	if tput := m.Throughput(time.Second); tput != 0 {
 		t.Fatalf("empty window throughput = %v", tput)
+	}
+	// Warmup completions show in Completed but not in the window.
+	if m.Completed != 4 || m.Measured != 3 || len(m.Latencies) != 3 {
+		t.Fatalf("completed=%d measured=%d latencies=%d, want 4/3/3",
+			m.Completed, m.Measured, len(m.Latencies))
+	}
+}
+
+func TestLatencyPercentileNearestRank(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Latencies = append(m.Latencies, time.Duration(i)*time.Millisecond)
+	}
+	// Nearest-rank over 100 samples: p50 → rank 50 (index 50 of 0..99),
+	// p99 → index 98, p100 → the max. A truncating index would answer
+	// 98ms for p99 only by luck and 99ms for p100 — pin the exact values.
+	if p := m.LatencyPercentile(50); p != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", p)
+	}
+	if p := m.LatencyPercentile(99); p != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", p)
+	}
+	if p := m.LatencyPercentile(100); p != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", p)
+	}
+	if p := m.LatencyPercentile(0); p != time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", p)
+	}
+}
+
+func TestFairnessMatchesBruteForce(t *testing.T) {
+	// The Fenwick-tree sweep must agree with the definitional all-pairs
+	// count on an adversarial mix of ties, inversions, and margins.
+	m := NewMetrics()
+	k := func(i uint64) types.RequestKey {
+		return types.RequestKey{Client: types.ClientIDBase, ClientSeq: i}
+	}
+	const n = 200
+	rng := func(seed *uint64) uint64 { *seed = *seed*6364136223846793005 + 1; return *seed >> 33 }
+	seed := uint64(42)
+	for i := uint64(1); i <= n; i++ {
+		m.arrival[k(i)] = int64(rng(&seed)%50) * int64(time.Millisecond) // many ties
+		m.CommitOrder = append(m.CommitOrder, k(i))
+	}
+	// Shuffle the commit order deterministically.
+	for i := n - 1; i > 0; i-- {
+		j := rng(&seed) % uint64(i+1)
+		m.CommitOrder[i], m.CommitOrder[j] = m.CommitOrder[j], m.CommitOrder[i]
+	}
+	brute := func(margin time.Duration) (violations, pairs int) {
+		pos := make(map[types.RequestKey]int)
+		for i, key := range m.CommitOrder {
+			pos[key] = i
+		}
+		keys := make([]types.RequestKey, 0, len(pos))
+		for key := range pos {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if ai, aj := m.arrival[keys[i]], m.arrival[keys[j]]; ai != aj {
+				return ai < aj
+			}
+			if keys[i].Client != keys[j].Client {
+				return keys[i].Client < keys[j].Client
+			}
+			return keys[i].ClientSeq < keys[j].ClientSeq
+		})
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if m.arrival[keys[j]]-m.arrival[keys[i]] < int64(margin) {
+					continue
+				}
+				pairs++
+				if pos[keys[i]] > pos[keys[j]] {
+					violations++
+				}
+			}
+		}
+		return violations, pairs
+	}
+	for _, margin := range []time.Duration{0, time.Millisecond, 7 * time.Millisecond, 100 * time.Millisecond} {
+		wantV, wantP := brute(margin)
+		gotV, gotP := m.FairnessViolations(margin)
+		if gotV != wantV || gotP != wantP {
+			t.Fatalf("margin %v: got (%d,%d), brute force (%d,%d)", margin, gotV, gotP, wantV, wantP)
+		}
 	}
 }
 

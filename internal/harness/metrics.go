@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
+	"bftkit/internal/obsv"
 	"bftkit/internal/types"
 )
 
@@ -18,12 +20,17 @@ type ExecRecord struct {
 // Metrics collects everything the experiments report. It is driven by
 // runtime hooks; on the simulator all callbacks are single-threaded.
 type Metrics struct {
-	// Client-side.
+	// Client-side. Completed counts every finished request including
+	// warmup; Measured counts only those inside the measured window
+	// [MeasureFrom, ∞) and is the numerator Throughput uses. Latencies
+	// holds one sample per Measured request with a known submit time.
 	Submitted   int
 	Completed   int
+	Measured    int
 	submitTimes map[types.RequestKey]time.Duration
 	Latencies   []time.Duration
-	// DoneOrder records request completion order for fairness analysis.
+	// DoneOrder records request completion order (warmup included) for
+	// fairness analysis.
 	DoneOrder []types.RequestKey
 
 	// Replica-side.
@@ -42,8 +49,14 @@ type Metrics struct {
 	Violations  []error
 
 	// MeasureFrom gates throughput/latency collection so warmup can be
-	// excluded; zero collects from the start.
+	// excluded; zero collects from the start. Requests completing before
+	// MeasureFrom still count in Completed/DoneOrder but never in
+	// Measured/Latencies.
 	MeasureFrom time.Duration
+
+	// Trace, when set, receives commit-latency samples (microseconds)
+	// for its histogram as requests complete.
+	Trace *obsv.Tracer
 }
 
 // NewMetrics returns an empty collector.
@@ -69,10 +82,13 @@ func (m *Metrics) onDone(id types.NodeID, req *types.Request, result []byte, at 
 	m.Completed++
 	m.DoneOrder = append(m.DoneOrder, req.Key())
 	if at < m.MeasureFrom {
-		return
+		return // warmup: visible in Completed, excluded from the window
 	}
+	m.Measured++
 	if t0, ok := m.submitTimes[req.Key()]; ok {
-		m.Latencies = append(m.Latencies, at-t0)
+		lat := at - t0
+		m.Latencies = append(m.Latencies, lat)
+		m.Trace.ObserveCommitLatency(lat)
 	}
 }
 
@@ -141,26 +157,37 @@ func (m *Metrics) AuditSafety(honest func(types.NodeID) bool) error {
 	return nil
 }
 
-// Throughput returns completed requests per second of virtual time over
-// the window [MeasureFrom, until].
+// Throughput returns requests completed inside the measured window
+// [MeasureFrom, until] per second of virtual time. The numerator is
+// Measured, not Completed, so warmup completions neither inflate the
+// rate nor dilute it when the window excludes them.
 func (m *Metrics) Throughput(until time.Duration) float64 {
 	window := until - m.MeasureFrom
 	if window <= 0 {
 		return 0
 	}
-	return float64(len(m.Latencies)) / window.Seconds()
+	return float64(m.Measured) / window.Seconds()
 }
 
 // LatencyPercentile returns the p-th percentile (0..100) of completed
-// request latencies.
+// request latencies by the nearest-rank method: the sample at rank
+// ⌈p/100·n⌉. Over 100 samples p50 is the 50th and p99 the 99th —
+// truncating a fractional index instead (as a naive int cast does)
+// biases every percentile downward.
 func (m *Metrics) LatencyPercentile(p float64) time.Duration {
 	if len(m.Latencies) == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), m.Latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // MeanLatency returns the average completed request latency.
@@ -179,6 +206,14 @@ func (m *Metrics) MeanLatency() time.Duration {
 // before b (by ground-truth arrival hints, with a margin) yet committed
 // after b. The margin excludes near-simultaneous submissions the
 // fairness definition does not constrain.
+//
+// Counting is O(n log n): keys sorted by arrival are swept with a window
+// pointer that admits, for each b, exactly the a's submitted at least
+// margin earlier; admitted commit positions live in a Fenwick tree, so
+// "how many admitted a committed before b" is one prefix query, and the
+// violations are the remainder — an inversion count restricted to the
+// margin window. Fairness experiments run this over tens of thousands of
+// requests, where the previous all-pairs loop was quadratic.
 func (m *Metrics) FairnessViolations(margin time.Duration) (violations, pairs int) {
 	pos := make(map[types.RequestKey]int, len(m.CommitOrder))
 	for i, k := range m.CommitOrder {
@@ -188,17 +223,50 @@ func (m *Metrics) FairnessViolations(margin time.Duration) (violations, pairs in
 	for k := range pos {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return m.arrival[keys[i]] < m.arrival[keys[j]] })
-	for i := 0; i < len(keys); i++ {
-		for j := i + 1; j < len(keys); j++ {
-			if m.arrival[keys[j]]-m.arrival[keys[i]] < int64(margin) {
-				continue
-			}
-			pairs++
-			if pos[keys[i]] > pos[keys[j]] {
-				violations++
-			}
+	sort.Slice(keys, func(i, j int) bool {
+		if ai, aj := m.arrival[keys[i]], m.arrival[keys[j]]; ai != aj {
+			return ai < aj
 		}
+		// Tie-break simultaneous arrivals by identity so the count is
+		// deterministic (map iteration order must not leak in).
+		if keys[i].Client != keys[j].Client {
+			return keys[i].Client < keys[j].Client
+		}
+		return keys[i].ClientSeq < keys[j].ClientSeq
+	})
+
+	// Compress commit positions to ranks 1..n for the Fenwick tree.
+	byPos := append([]types.RequestKey(nil), keys...)
+	sort.Slice(byPos, func(i, j int) bool { return pos[byPos[i]] < pos[byPos[j]] })
+	rank := make(map[types.RequestKey]int, len(byPos))
+	for i, k := range byPos {
+		rank[k] = i + 1
+	}
+
+	bit := make([]int, len(keys)+1)
+	add := func(i int) {
+		for ; i <= len(keys); i += i & -i {
+			bit[i]++
+		}
+	}
+	query := func(i int) (c int) { // admitted keys with rank <= i
+		for ; i > 0; i -= i & -i {
+			c += bit[i]
+		}
+		return c
+	}
+
+	w, admitted := 0, 0
+	for j := 0; j < len(keys); j++ {
+		for w < j && m.arrival[keys[j]]-m.arrival[keys[w]] >= int64(margin) {
+			add(rank[keys[w]])
+			admitted++
+			w++
+		}
+		pairs += admitted
+		// keys[j] itself is never admitted (w < j), so ranks ≤ rank[j]
+		// are exactly the earlier submissions that also committed earlier.
+		violations += admitted - query(rank[keys[j]])
 	}
 	return violations, pairs
 }

@@ -1,0 +1,161 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+// jsonEvent is the export shape of one trace event.
+type jsonEvent struct {
+	Run   string  `json:"run,omitempty"`
+	At    float64 `json:"at_us"`
+	Type  string  `json:"type"`
+	Node  string  `json:"node"`
+	Peer  string  `json:"peer,omitempty"`
+	View  uint64  `json:"view,omitempty"`
+	Seq   uint64  `json:"seq,omitempty"`
+	Kind  string  `json:"kind,omitempty"`
+	Phase string  `json:"phase,omitempty"`
+	Bytes int     `json:"bytes,omitempty"`
+}
+
+// WriteTrace dumps the captured event log as JSON lines (one event per
+// line, suitable for jq / trace viewers). Events are only captured when
+// Options.Events was set.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	label := t.Label()
+	for _, e := range t.Events() {
+		je := jsonEvent{
+			Run:   label,
+			At:    float64(e.At) / float64(time.Microsecond),
+			Type:  e.Type.String(),
+			Node:  e.Node.String(),
+			View:  uint64(e.View),
+			Seq:   uint64(e.Seq),
+			Kind:  e.Kind,
+			Phase: e.Phase,
+			Bytes: e.Bytes,
+		}
+		if e.Type == EvSend || e.Type == EvDeliver {
+			je.Peer = e.Peer.String()
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	if d := t.DroppedEvents(); d > 0 {
+		fmt.Fprintf(w, `{"run":%q,"truncated_events":%d}`+"\n", label, d)
+	}
+	return nil
+}
+
+// WriteCSV writes the per-node per-phase counter table as CSV.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "run,node,phase,msgs_sent,msgs_recv,bytes_sent,bytes_recv,sign,verify,mac,mac_verify"); err != nil {
+		return err
+	}
+	label := t.Label()
+	for _, id := range t.Nodes() {
+		phases := t.NodePhase(id)
+		for _, phase := range sortedPhases(phases) {
+			st := phases[phase]
+			if _, err := fmt.Fprintf(w, "%s,%v,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				label, id, phase, st.MsgsSent, st.MsgsRecv, st.BytesSent, st.BytesRecv,
+				st.Sign, st.Verify, st.MACSign, st.MACVerify); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSummary prints the human-readable per-phase breakdown: counters
+// aggregated across nodes, ordering totals, and histogram digests.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	if t == nil {
+		return
+	}
+	if l := t.Label(); l != "" {
+		fmt.Fprintf(w, "per-phase breakdown [%s]\n", l)
+	} else {
+		fmt.Fprintln(w, "per-phase breakdown")
+	}
+	phases := t.PerPhase()
+	fmt.Fprintf(w, "  %-13s %-10s %-10s %-12s %-12s %-8s %-8s %-8s\n",
+		"phase", "msgs-sent", "msgs-recv", "bytes-sent", "bytes-recv", "sign", "verify", "mac")
+	var total PhaseStat
+	for _, phase := range sortedPhases(phases) {
+		st := phases[phase]
+		tag := ""
+		if !IsProtocolPhase(phase) {
+			tag = " *"
+		}
+		fmt.Fprintf(w, "  %-13s %-10d %-10d %-12d %-12d %-8d %-8d %-8d%s\n",
+			phase, st.MsgsSent, st.MsgsRecv, st.BytesSent, st.BytesRecv,
+			st.Sign, st.Verify, st.MACSign+st.MACVerify, tag)
+		total.add(st)
+	}
+	omsgs, obytes := t.OrderingTotals()
+	fmt.Fprintf(w, "  %-13s %-10d %-10s %-12d (* = outside the ordering pipeline)\n",
+		"ordering", omsgs, "", obytes)
+	fmt.Fprintf(w, "  %-13s %-10d %-10d %-12d %-12d %-8d %-8d %-8d\n",
+		"total", total.MsgsSent, total.MsgsRecv, total.BytesSent, total.BytesRecv,
+		total.Sign, total.Verify, total.MACSign+total.MACVerify)
+	if t.CommitLatency.Count() > 0 {
+		fmt.Fprint(w, "  ")
+		t.CommitLatency.Summary(w)
+	}
+	if t.QueueDepth.Count() > 0 {
+		fmt.Fprint(w, "  ")
+		t.QueueDepth.Summary(w)
+	}
+}
+
+func sortedPhases(m map[string]PhaseStat) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerSlot is one row of an experiment's per-slot accounting: measured
+// ordering messages and bytes divided by committed slots.
+type PerSlot struct {
+	Protocol string
+	N        int
+	Slots    int
+	Msgs     float64
+	Bytes    float64
+	Phases   []string
+}
+
+// PerSlotRow derives per-slot ordering cost from the tracer's counters.
+func (t *Tracer) PerSlotRow(protocol string, n, slots int) PerSlot {
+	row := PerSlot{Protocol: protocol, N: n, Slots: slots}
+	if t == nil || slots <= 0 {
+		return row
+	}
+	msgs, bytes := t.OrderingTotals()
+	row.Msgs = float64(msgs) / float64(slots)
+	row.Bytes = float64(bytes) / float64(slots)
+	row.Phases = t.OrderingPhases()
+	return row
+}
+
+// Interface conformance guard: NodeID must keep printing as r#/c# for
+// CSV/JSON stability.
+var _ fmt.Stringer = types.NodeID(0)

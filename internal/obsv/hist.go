@@ -1,0 +1,132 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// Histogram is a lightweight power-of-two-bucketed histogram for
+// non-negative integer samples (latencies in microseconds, queue
+// depths). Bucket i covers [2^(i-1), 2^i); bucket 0 covers {0}.
+// Quantiles are answered from bucket upper bounds, which is the right
+// fidelity for order-of-magnitude summaries at effectively zero cost
+// per sample.
+type Histogram struct {
+	name string
+	unit string
+
+	mu      sync.Mutex
+	buckets [65]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// NewHistogram names a histogram; unit is display-only.
+func NewHistogram(name, unit string) *Histogram {
+	return &Histogram{name: name, unit: unit}
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound on the q-th quantile (0..1): the upper
+// edge of the bucket holding the q-th sample (exact max for the last).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1) << uint(i)
+			if upper > h.max || upper < 0 {
+				return h.max
+			}
+			return upper - 1
+		}
+	}
+	return h.max
+}
+
+// Summary writes a one-line digest: count, mean, p50/p99 bounds, max.
+func (h *Histogram) Summary(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "%-16s count=%-8d mean=%-10.1f p50≤%-10d p99≤%-10d max=%d %s\n",
+		h.name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max(), h.unit)
+}

@@ -1,0 +1,236 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+type fakeMsg struct {
+	K    string
+	View types.View
+	Seq  types.SeqNum
+	Body []byte
+}
+
+func (m *fakeMsg) Kind() string { return m.K }
+
+type slottedMsg struct {
+	fakeMsg
+}
+
+func (m *slottedMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
+func TestPhaseClassification(t *testing.T) {
+	cases := map[string]string{
+		"PRE-PREPARE":        "pre-prepare",
+		"PREPARE":            "prepare",
+		"COMMIT":             "commit",
+		"HS-PROPOSAL":        "propose",
+		"HS-VOTE":            "vote",
+		"ORDER-REQ":          "order",
+		"REQUEST":            PhaseClient,
+		"REPLY":              PhaseClient,
+		"CHECKPOINT":         PhaseCheckpoint,
+		"ZYZ-CHECKPOINT":     PhaseCheckpoint,
+		"VIEW-CHANGE":        PhaseViewChange,
+		"SBFT-NEW-VIEW":      PhaseViewChange,
+		"HS-TIMEOUT":         PhaseViewChange,
+		"FETCH-STATE":        PhaseRecovery,
+		"SBFT-SHARE-sign":    "sign",
+		"SBFT-PROOF-commit":  "commit",
+		"KAURI-AGGR-prepare": "prepare",
+		"THEMIS-prepare":     "prepare",
+		"PO-REQUEST":         "preorder",
+		"SOME-NEW-KIND":      "some-new-kind", // unknown kinds still group
+	}
+	for kind, want := range cases {
+		if got := PhaseOf(kind); got != want {
+			t.Errorf("PhaseOf(%q) = %q, want %q", kind, got, want)
+		}
+	}
+	for _, p := range []string{PhaseClient, PhaseCheckpoint, PhaseViewChange, PhaseRecovery} {
+		if IsProtocolPhase(p) {
+			t.Errorf("IsProtocolPhase(%q) = true", p)
+		}
+	}
+	if !IsProtocolPhase("prepare") || !IsProtocolPhase("order") {
+		t.Error("ordering phases misclassified")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	m := &fakeMsg{K: "PREPARE"}
+	tr.MsgSent(0, 0, 1, m, 10)
+	tr.MsgDelivered(0, 0, 1, m, 10)
+	tr.Commit(0, 0, 1, 2)
+	tr.Execute(0, 0, 2)
+	tr.ViewChange(0, 0, 1)
+	tr.TimerFired(0, 0, "x", 0, 0)
+	tr.CryptoOp(0, CryptoSign)
+	tr.ObserveCommitLatency(time.Millisecond)
+	tr.ObserveQueueDepth(3)
+	tr.WriteSummary(&bytes.Buffer{})
+	if err := tr.WriteTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Enabled() || tr.Events() != nil || tr.PerPhase() != nil {
+		t.Fatal("nil tracer reported data")
+	}
+}
+
+func TestCountersAndEvents(t *testing.T) {
+	tr := New(Options{Label: "test", Events: true})
+	pp := &slottedMsg{fakeMsg{K: "PRE-PREPARE", View: 1, Seq: 7}}
+	prep := &slottedMsg{fakeMsg{K: "PREPARE", View: 1, Seq: 7}}
+
+	tr.MsgSent(time.Millisecond, 0, 1, pp, 100)
+	tr.MsgDelivered(2*time.Millisecond, 0, 1, pp, 100)
+	tr.MsgSent(3*time.Millisecond, 1, 0, prep, 50)
+	tr.CryptoOp(1, CryptoSign)
+	tr.CryptoOp(1, CryptoVerify)
+	tr.Commit(4*time.Millisecond, 1, 1, 7)
+
+	per := tr.PerPhase()
+	if st := per["pre-prepare"]; st.MsgsSent != 1 || st.BytesSent != 100 || st.MsgsRecv != 1 || st.BytesRecv != 100 {
+		t.Fatalf("pre-prepare stat = %+v", st)
+	}
+	if st := per["prepare"]; st.MsgsSent != 1 || st.BytesSent != 50 || st.Sign != 1 || st.Verify != 1 {
+		t.Fatalf("prepare stat = %+v (crypto ops must land in the sender's current phase)", st)
+	}
+
+	msgs, bytesSent := tr.OrderingTotals()
+	if msgs != 2 || bytesSent != 150 {
+		t.Fatalf("ordering totals = %d msgs / %d bytes", msgs, bytesSent)
+	}
+	phases := tr.OrderingPhases()
+	if len(phases) != 2 || phases[0] != "pre-prepare" || phases[1] != "prepare" {
+		t.Fatalf("ordering phases = %v", phases)
+	}
+
+	evs := tr.Events()
+	// send, deliver, send, commit, plus two phase-enter transitions.
+	var sends, phaseEnters, commits int
+	for _, e := range evs {
+		switch e.Type {
+		case EvSend:
+			sends++
+			if e.View != 1 || e.Seq != 7 {
+				t.Fatalf("send event missing slot stamp: %+v", e)
+			}
+		case EvPhaseEnter:
+			phaseEnters++
+		case EvCommit:
+			commits++
+		}
+	}
+	if sends != 2 || phaseEnters != 2 || commits != 1 {
+		t.Fatalf("event mix: %d sends, %d phase-enters, %d commits", sends, phaseEnters, commits)
+	}
+}
+
+func TestEventCapDropsNotGrows(t *testing.T) {
+	tr := New(Options{Events: true, MaxEvents: 4})
+	m := &fakeMsg{K: "PREPARE"}
+	for i := 0; i < 10; i++ {
+		tr.MsgSent(0, 0, 1, m, 1)
+	}
+	if len(tr.Events()) != 4 {
+		t.Fatalf("retained %d events, cap 4", len(tr.Events()))
+	}
+	if tr.DroppedEvents() == 0 {
+		t.Fatal("drops not counted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("t", "µs")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %f", m)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	// p50 of 1..1000 is ~500; the bucket upper bound answer must bracket
+	// it within its power-of-two resolution.
+	if q := h.Quantile(0.5); q < 500 || q > 1023 {
+		t.Fatalf("p50 bound = %d", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d, want exact max", q)
+	}
+	var empty *Histogram
+	empty.Observe(1) // nil-safe
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Fatal("nil histogram misbehaved")
+	}
+}
+
+func TestSizeOfSteadyState(t *testing.T) {
+	// Two same-type messages: neither pays the gob type descriptor, so
+	// sizes differ only by content length.
+	a := SizeOf(&fakeMsg{K: "A", Body: make([]byte, 100)})
+	b := SizeOf(&fakeMsg{K: "A", Body: make([]byte, 200)})
+	if a < 100 || b < 200 {
+		t.Fatalf("sizes too small: %d, %d", a, b)
+	}
+	grow := b - a
+	if grow < 95 || grow > 110 {
+		t.Fatalf("descriptor overhead leaked into per-message size: a=%d b=%d", a, b)
+	}
+}
+
+type sizedMsg struct{}
+
+func (*sizedMsg) Kind() string     { return "SIZED" }
+func (*sizedMsg) EncodedSize() int { return 4242 }
+
+func TestSizeOfHonorsSizer(t *testing.T) {
+	if got := SizeOf(&sizedMsg{}); got != 4242 {
+		t.Fatalf("SizeOf(Sizer) = %d", got)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	tr := New(Options{Label: "exp", Events: true})
+	tr.MsgSent(time.Millisecond, 0, 1, &slottedMsg{fakeMsg{K: "PRE-PREPARE", View: 2, Seq: 3}}, 64)
+	tr.ObserveCommitLatency(5 * time.Millisecond)
+	tr.ObserveQueueDepth(2)
+
+	var trace bytes.Buffer
+	if err := tr.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), `"type":"send"`) || !strings.Contains(trace.String(), `"run":"exp"`) {
+		t.Fatalf("trace json missing fields:\n%s", trace.String())
+	}
+
+	var csv bytes.Buffer
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "exp,r0,pre-prepare,1,0,64,0,") {
+		t.Fatalf("csv row missing:\n%s", csv.String())
+	}
+
+	var sum bytes.Buffer
+	tr.WriteSummary(&sum)
+	for _, want := range []string{"pre-prepare", "ordering", "total", "commit-latency", "queue-depth"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}

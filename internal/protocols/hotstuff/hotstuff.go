@@ -79,6 +79,14 @@ type ProposalMsg struct {
 // Kind implements types.Message.
 func (*ProposalMsg) Kind() string { return "HS-PROPOSAL" }
 
+// Slot implements obsv.Slotted.
+func (m *ProposalMsg) Slot() (types.View, types.SeqNum) {
+	if m.Block == nil {
+		return 0, 0
+	}
+	return m.Block.View, m.Block.Height
+}
+
 // EncodedSize implements sim.Sizer: a proposal carries one block, one
 // certificate (constant-size under the threshold model) and a signature.
 func (m *ProposalMsg) EncodedSize() int {
@@ -112,6 +120,9 @@ type VoteMsg struct {
 
 // Kind implements types.Message.
 func (*VoteMsg) Kind() string { return "HS-VOTE" }
+
+// Slot implements obsv.Slotted.
+func (m *VoteMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Height }
 
 // TimeoutMsg is the pacemaker's view-synchronization message (τ5).
 type TimeoutMsg struct {
@@ -193,9 +204,9 @@ type HotStuff struct {
 	// timeouts per view for the pacemaker.
 	timeouts map[types.View]map[types.NodeID]*TimeoutMsg
 
-	mempool  []*types.Request
-	memSet   map[types.RequestKey]bool
-	done map[types.RequestKey]bool
+	mempool []*types.Request
+	memSet  map[types.RequestKey]bool
+	done    map[types.RequestKey]bool
 
 	proposedInView map[types.View]bool
 	// demoted implements DiemBFT-style leader reputation: a replica

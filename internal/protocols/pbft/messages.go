@@ -31,6 +31,9 @@ type PrePrepareMsg struct {
 // Kind implements types.Message.
 func (*PrePrepareMsg) Kind() string { return "PRE-PREPARE" }
 
+// Slot implements obsv.Slotted.
+func (m *PrePrepareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *PrePrepareMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -52,6 +55,9 @@ type PrepareMsg struct {
 // Kind implements types.Message.
 func (*PrepareMsg) Kind() string { return "PREPARE" }
 
+// Slot implements obsv.Slotted.
+func (m *PrepareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *PrepareMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -72,6 +78,9 @@ type CommitMsg struct {
 
 // Kind implements types.Message.
 func (*CommitMsg) Kind() string { return "COMMIT" }
+
+// Slot implements obsv.Slotted.
+func (m *CommitMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // SigDigest is the signed content.
 func (m *CommitMsg) SigDigest() types.Digest {

@@ -46,6 +46,9 @@ type OrderReqMsg struct {
 // Kind implements types.Message.
 func (*OrderReqMsg) Kind() string { return "ORDER-REQ" }
 
+// Slot implements obsv.Slotted.
+func (m *OrderReqMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *OrderReqMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -205,7 +208,7 @@ type Zyzzyva struct {
 	pendingSet map[types.RequestKey]bool
 	inFlight   map[types.RequestKey]bool
 	watch      map[types.RequestKey]bool
-	done   map[types.RequestKey]bool
+	done       map[types.RequestKey]bool
 
 	cpVotes map[types.SeqNum]map[types.NodeID]types.Digest
 

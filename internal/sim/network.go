@@ -1,10 +1,9 @@
 package sim
 
 import (
-	"bytes"
-	"encoding/gob"
 	"time"
 
+	"bftkit/internal/obsv"
 	"bftkit/internal/types"
 )
 
@@ -51,7 +50,9 @@ type NetConfig struct {
 }
 
 // DefaultLAN is a 1ms datacenter-style network.
-func DefaultLAN() NetConfig { return NetConfig{Delay: time.Millisecond, Jitter: 200 * time.Microsecond} }
+func DefaultLAN() NetConfig {
+	return NetConfig{Delay: time.Millisecond, Jitter: 200 * time.Microsecond}
+}
 
 // DefaultWAN is a 50ms geo-replicated network.
 func DefaultWAN() NetConfig {
@@ -99,17 +100,19 @@ type Network struct {
 	egressFree map[types.NodeID]time.Duration
 	delivered  int64
 	dropped    int64
+	inflight   int64
+	tracer     *obsv.Tracer
 }
 
 // NewNetwork creates a network on the given scheduler.
 func NewNetwork(sched *Scheduler, cfg NetConfig) *Network {
 	return &Network{
-		sched:     sched,
-		cfg:       cfg,
-		nodes:     make(map[types.NodeID]Handler),
-		crashed:   make(map[types.NodeID]bool),
-		linkDelay: make(map[[2]types.NodeID]time.Duration),
-		partition: make(map[types.NodeID]int),
+		sched:      sched,
+		cfg:        cfg,
+		nodes:      make(map[types.NodeID]Handler),
+		crashed:    make(map[types.NodeID]bool),
+		linkDelay:  make(map[[2]types.NodeID]time.Duration),
+		partition:  make(map[types.NodeID]int),
 		stats:      make(map[types.NodeID]*NodeStats),
 		kindCount:  make(map[string]int64),
 		kindBytes:  make(map[string]int64),
@@ -122,6 +125,10 @@ func (n *Network) Register(id types.NodeID, h Handler) { n.nodes[id] = h }
 
 // SetInterceptor installs a network adversary. Pass nil to remove.
 func (n *Network) SetInterceptor(i Interceptor) { n.interc = i }
+
+// SetTracer attaches the observability sink; every send and delivery is
+// reported with its accounted wire size. Pass nil to detach.
+func (n *Network) SetTracer(t *obsv.Tracer) { n.tracer = t }
 
 // Crash makes a node silent: it neither sends nor receives.
 func (n *Network) Crash(id types.NodeID) { n.crashed[id] = true }
@@ -184,24 +191,13 @@ func (n *Network) ResetStats() {
 
 // Sizer lets a message define its own accounted wire size; messages
 // carrying certificates use it so the threshold-signature size model
-// holds. Messages without it are gob-encoded to measure size.
-type Sizer interface {
-	EncodedSize() int
-}
+// holds. Messages without it are measured through the same gob encoding
+// the TCP transport uses (obsv.SizeOf), so simulator byte accounting
+// matches real wire bytes.
+type Sizer = obsv.Sizer
 
 // SizeOf returns the accounted wire size of a message.
-func SizeOf(m types.Message) int {
-	if s, ok := m.(Sizer); ok {
-		return s.EncodedSize()
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
-		// Unencodable messages (only possible for test doubles) are
-		// charged a nominal size rather than failing the run.
-		return 64
-	}
-	return buf.Len()
-}
+func SizeOf(m types.Message) int { return obsv.SizeOf(m) }
 
 // Send routes one message. Delivery is scheduled on the virtual clock
 // according to the network model; the call itself never blocks.
@@ -253,17 +249,20 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 		delay += time.Duration(rng.Int63n(int64(n.cfg.Jitter)))
 	}
 
+	size := SizeOf(m)
 	if n.cfg.DuplicateRate > 0 && rng.Float64() < n.cfg.DuplicateRate {
 		dup := time.Duration(rng.Int63n(int64(2 * (base + time.Millisecond))))
+		n.inflight++
 		n.sched.After(delay+dup, func() {
+			n.inflight--
 			if h := n.nodes[to]; h != nil && !n.crashed[to] {
 				n.delivered++
+				n.tracer.MsgDelivered(n.sched.Now(), from, to, m, size)
 				h.Deliver(from, m)
 			}
 		})
 	}
 
-	size := SizeOf(m)
 	// Egress serialization: the sender's link is busy until previous
 	// sends have drained.
 	if n.cfg.SendCostPerMsg > 0 || n.cfg.SendCostPerKB > 0 {
@@ -282,8 +281,14 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 	kind := m.Kind()
 	n.kindCount[kind]++
 	n.kindBytes[kind] += int64(size)
+	if n.tracer != nil {
+		n.tracer.MsgSent(now, from, to, m, size)
+		n.tracer.ObserveQueueDepth(int(n.inflight))
+	}
 
+	n.inflight++
 	n.sched.After(delay, func() {
+		n.inflight--
 		if n.crashed[to] {
 			n.dropped++
 			return
@@ -297,6 +302,7 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 		rs.MsgsRecv++
 		rs.BytesRecv += int64(size)
 		n.delivered++
+		n.tracer.MsgDelivered(n.sched.Now(), from, to, m, size)
 		h.Deliver(from, m)
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"bftkit/internal/obsv"
 	"bftkit/internal/types"
 )
 
@@ -43,10 +44,27 @@ type Node struct {
 	handler Handler
 
 	mu    sync.Mutex
-	conns map[types.NodeID]*gob.Encoder
+	conns map[types.NodeID]*wireConn
+
+	tracer *obsv.Tracer
 
 	listener net.Listener
 	done     chan struct{}
+}
+
+// wireConn is one outbound gob stream plus its byte counter. The mutex
+// serializes Encode calls (Send may race with connection adoption) and
+// makes the before/after counter delta attributable to one message.
+type wireConn struct {
+	mu    sync.Mutex
+	enc   *gob.Encoder
+	total func() int64
+}
+
+// newWireConn wraps w in a counted gob stream.
+func newWireConn(w interface{ Write([]byte) (int, error) }) *wireConn {
+	cw, total := obsv.WriteCounted(w)
+	return &wireConn{enc: gob.NewEncoder(cw), total: total}
 }
 
 // NewNode creates a node addressed by id with a static peer table
@@ -58,13 +76,18 @@ func NewNode(id types.NodeID, peers map[types.NodeID]string, seed int64) *Node {
 		start:  time.Now(),
 		rng:    rand.New(rand.NewSource(seed ^ int64(id))),
 		events: make(chan func(), 4096),
-		conns:  make(map[types.NodeID]*gob.Encoder),
+		conns:  make(map[types.NodeID]*wireConn),
 		done:   make(chan struct{}),
 	}
 }
 
 // SetHandler installs the delivery target (must be set before Start).
 func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// SetTracer attaches the observability sink: every send and delivery is
+// reported with the actual wire bytes that crossed the socket. Pass nil
+// to detach. Must be set before Start.
+func (n *Node) SetTracer(t *obsv.Tracer) { n.tracer = t }
 
 // Start listens on the node's own address and runs the event loop until
 // Stop. It returns once the listener is ready.
@@ -119,20 +142,24 @@ func (n *Node) acceptLoop() {
 
 func (n *Node) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	cr, rtotal := obsv.ReadCounted(conn)
+	dec := gob.NewDecoder(cr)
 	var adopted bool
-	enc := gob.NewEncoder(conn)
+	var enc *wireConn
 	for {
+		before := rtotal()
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		size := int(rtotal() - before)
 		if !adopted {
 			// Adopt the inbound connection as the return path to the
 			// sender — clients are not in the static peer table, so
 			// replies must flow back over the connection the request
 			// arrived on.
 			adopted = true
+			enc = newWireConn(conn)
 			n.mu.Lock()
 			if _, ok := n.conns[env.From]; !ok {
 				n.conns[env.From] = enc
@@ -141,11 +168,26 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		msg := env.Msg
 		from := env.From
+		n.tracer.MsgDelivered(n.Now(), from, n.id, msg, size)
 		select {
 		case n.events <- func() { n.handler.Deliver(from, msg) }:
+			n.tracer.ObserveQueueDepth(len(n.events))
 		case <-n.done:
 			return
 		}
+	}
+}
+
+// Do runs fn on the event loop, serialized with message delivery and
+// timer callbacks. Replica and client state is single-threaded by
+// design (the simulator guarantees it; this loop recreates the
+// guarantee over TCP), so any external goroutine — a client main, a
+// test — must reach the handler through here, never by calling it
+// directly.
+func (n *Node) Do(fn func()) {
+	select {
+	case n.events <- fn:
+	case <-n.done:
 	}
 }
 
@@ -173,20 +215,27 @@ func (n *Node) After(d time.Duration, fn func()) func() {
 // connection, re-dialed on failure (the network is allowed to be lossy —
 // the protocols are built for that).
 func (n *Node) Send(from, to types.NodeID, m types.Message) {
-	enc := n.conn(to)
-	if enc == nil {
+	c := n.conn(to)
+	if c == nil {
 		return
 	}
-	if err := enc.Encode(&Envelope{From: from, Msg: m}); err != nil {
+	c.mu.Lock()
+	before := c.total()
+	err := c.enc.Encode(&Envelope{From: from, Msg: m})
+	size := int(c.total() - before)
+	c.mu.Unlock()
+	if err != nil {
 		n.dropConn(to)
+		return
 	}
+	n.tracer.MsgSent(n.Now(), from, to, m, size)
 }
 
-func (n *Node) conn(to types.NodeID) *gob.Encoder {
+func (n *Node) conn(to types.NodeID) *wireConn {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if enc, ok := n.conns[to]; ok {
-		return enc
+	if c, ok := n.conns[to]; ok {
+		return c
 	}
 	addr, ok := n.peers[to]
 	if !ok {
@@ -196,13 +245,13 @@ func (n *Node) conn(to types.NodeID) *gob.Encoder {
 	if err != nil {
 		return nil
 	}
-	enc := gob.NewEncoder(c)
-	n.conns[to] = enc
+	wc := newWireConn(c)
+	n.conns[to] = wc
 	// Connections are bidirectional: the peer may answer (or push) on
 	// the same socket — e.g. replicas replying to a client over the
 	// connection its request arrived on.
 	go n.readLoop(c)
-	return enc
+	return wc
 }
 
 func (n *Node) dropConn(to types.NodeID) {

@@ -60,7 +60,7 @@ func TestPBFTOverTCP(t *testing.T) {
 		if err := node.Start(); err != nil {
 			t.Fatal(err)
 		}
-		rep.Start()
+		node.Do(rep.Start)
 		nodes = append(nodes, node)
 	}
 	defer func() {
@@ -81,11 +81,12 @@ func TestPBFTOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer clientNode.Stop()
-	client.Start()
+	clientNode.Do(client.Start)
 
 	for i := 1; i <= 10; i++ {
 		op := kvstore.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
-		client.Submit(&types.Request{ClientSeq: uint64(i), Op: op})
+		req := &types.Request{ClientSeq: uint64(i), Op: op}
+		clientNode.Do(func() { client.Submit(req) })
 		select {
 		case <-done:
 		case <-time.After(10 * time.Second):

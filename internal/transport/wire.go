@@ -18,55 +18,60 @@ import (
 	"bftkit/internal/protocols/tendermint"
 	"bftkit/internal/protocols/themis"
 	"bftkit/internal/protocols/zyzzyva"
+	"bftkit/internal/types"
 )
 
-// Every concrete message type crossing the wire must be registered with
-// gob so Envelope's interface field round-trips.
+// wireMessages lists every concrete message type that may cross the
+// wire. init registers them all with gob so Envelope's interface field
+// round-trips; wire_test.go iterates the same list to prove each kind
+// survives an encode/decode cycle.
+var wireMessages = []types.Message{
+	// core
+	&core.RequestMsg{}, &core.ReplyMsg{}, &core.ForwardMsg{},
+	&core.CheckpointMsg{}, &core.FetchStateMsg{}, &core.StateMsg{},
+	// pbft
+	&pbft.PrePrepareMsg{}, &pbft.PrepareMsg{}, &pbft.CommitMsg{},
+	&pbft.ViewChangeMsg{}, &pbft.NewViewMsg{},
+	&pbft.FetchCommittedMsg{}, &pbft.CommittedMsg{},
+	// tendermint
+	&tendermint.ProposalMsg{}, &tendermint.VoteMsg{}, &tendermint.FetchProposalMsg{},
+	// hotstuff
+	&hotstuff.ProposalMsg{}, &hotstuff.VoteMsg{}, &hotstuff.TimeoutMsg{},
+	&hotstuff.QCMsg{}, &hotstuff.FetchBlockMsg{}, &hotstuff.BlockMsg{},
+	// sbft
+	&sbft.PrePrepareMsg{}, &sbft.ShareMsg{}, &sbft.ProofMsg{},
+	&sbft.ViewChangeMsg{}, &sbft.NewViewMsg{},
+	// zyzzyva
+	&zyzzyva.OrderReqMsg{}, &zyzzyva.CommitMsg{}, &zyzzyva.LocalCommitMsg{},
+	&zyzzyva.CheckpointMsg{}, &zyzzyva.ViewChangeMsg{}, &zyzzyva.NewViewMsg{},
+	// poe
+	&poe.ProposeMsg{}, &poe.ShareMsg{}, &poe.CertifyMsg{},
+	&poe.CheckpointMsg{}, &poe.ViewChangeMsg{}, &poe.NewViewMsg{},
+	// cheapbft
+	&cheapbft.ProposeMsg{}, &cheapbft.VoteMsg{}, &cheapbft.UpdateMsg{},
+	&cheapbft.ViewChangeMsg{}, &cheapbft.NewViewMsg{},
+	// fab
+	&fab.ProposeMsg{}, &fab.AcceptMsg{}, &fab.ViewChangeMsg{}, &fab.NewViewMsg{},
+	// qu
+	&qu.QueryMsg{}, &qu.QueryRespMsg{}, &qu.WriteMsg{}, &qu.WriteRespMsg{}, &qu.ResolveMsg{},
+	// prime
+	&prime.PORequestMsg{}, &prime.POAckMsg{},
+	// themis
+	&themis.ReportMsg{}, &themis.ProposalMsg{}, &themis.VoteMsg{},
+	&themis.ViewChangeMsg{}, &themis.NewViewMsg{},
+	// kauri
+	&kauri.ProposalMsg{}, &kauri.AggrMsg{}, &kauri.CertMsg{},
+	&kauri.ViewChangeMsg{}, &kauri.NewViewMsg{},
+	// chain
+	&chainrepl.ChainMsg{}, &chainrepl.CommitNoticeMsg{}, &chainrepl.PanicMsg{},
+	&chainrepl.ReconfigMsg{}, &chainrepl.FetchChainMsg{}, &chainrepl.ChainEntriesMsg{},
+	// raftlite
+	&raftlite.AppendEntriesMsg{}, &raftlite.AppendRespMsg{},
+	&raftlite.RequestVoteMsg{}, &raftlite.VoteMsg{},
+}
+
 func init() {
-	for _, m := range []interface{}{
-		// core
-		&core.RequestMsg{}, &core.ReplyMsg{}, &core.ForwardMsg{},
-		&core.CheckpointMsg{}, &core.FetchStateMsg{}, &core.StateMsg{},
-		// pbft
-		&pbft.PrePrepareMsg{}, &pbft.PrepareMsg{}, &pbft.CommitMsg{},
-		&pbft.ViewChangeMsg{}, &pbft.NewViewMsg{},
-		&pbft.FetchCommittedMsg{}, &pbft.CommittedMsg{},
-		// tendermint
-		&tendermint.ProposalMsg{}, &tendermint.VoteMsg{}, &tendermint.FetchProposalMsg{},
-		// hotstuff
-		&hotstuff.ProposalMsg{}, &hotstuff.VoteMsg{}, &hotstuff.TimeoutMsg{},
-		&hotstuff.QCMsg{}, &hotstuff.FetchBlockMsg{}, &hotstuff.BlockMsg{},
-		// sbft
-		&sbft.PrePrepareMsg{}, &sbft.ShareMsg{}, &sbft.ProofMsg{},
-		&sbft.ViewChangeMsg{}, &sbft.NewViewMsg{},
-		// zyzzyva
-		&zyzzyva.OrderReqMsg{}, &zyzzyva.CommitMsg{}, &zyzzyva.LocalCommitMsg{},
-		&zyzzyva.CheckpointMsg{}, &zyzzyva.ViewChangeMsg{}, &zyzzyva.NewViewMsg{},
-		// poe
-		&poe.ProposeMsg{}, &poe.ShareMsg{}, &poe.CertifyMsg{},
-		&poe.CheckpointMsg{}, &poe.ViewChangeMsg{}, &poe.NewViewMsg{},
-		// cheapbft
-		&cheapbft.ProposeMsg{}, &cheapbft.VoteMsg{}, &cheapbft.UpdateMsg{},
-		&cheapbft.ViewChangeMsg{}, &cheapbft.NewViewMsg{},
-		// fab
-		&fab.ProposeMsg{}, &fab.AcceptMsg{}, &fab.ViewChangeMsg{}, &fab.NewViewMsg{},
-		// qu
-		&qu.QueryMsg{}, &qu.QueryRespMsg{}, &qu.WriteMsg{}, &qu.WriteRespMsg{}, &qu.ResolveMsg{},
-		// prime
-		&prime.PORequestMsg{}, &prime.POAckMsg{},
-		// themis
-		&themis.ReportMsg{}, &themis.ProposalMsg{}, &themis.VoteMsg{},
-		&themis.ViewChangeMsg{}, &themis.NewViewMsg{},
-		// kauri
-		&kauri.ProposalMsg{}, &kauri.AggrMsg{}, &kauri.CertMsg{},
-		&kauri.ViewChangeMsg{}, &kauri.NewViewMsg{},
-		// chain
-		&chainrepl.ChainMsg{}, &chainrepl.CommitNoticeMsg{}, &chainrepl.PanicMsg{},
-		&chainrepl.ReconfigMsg{}, &chainrepl.FetchChainMsg{}, &chainrepl.ChainEntriesMsg{},
-		// raftlite
-		&raftlite.AppendEntriesMsg{}, &raftlite.AppendRespMsg{},
-		&raftlite.RequestVoteMsg{}, &raftlite.VoteMsg{},
-	} {
+	for _, m := range wireMessages {
 		gob.Register(m)
 	}
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, then the whole test suite with the
+# race detector on (the transport and obsv layers are concurrent; a
+# non-race run can pass while a data race hides).
+set -eux
+
+go vet ./...
+go build ./...
+# The experiment smoke suite replays every table of EXPERIMENTS.md; under
+# the race detector's ~15x slowdown that outgrows go test's default 10m
+# per-package budget, so raise it — a hang still fails, just later.
+go test -race -timeout 40m ./...
