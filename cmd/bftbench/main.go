@@ -11,6 +11,15 @@
 //	                         # breakdown after every cluster run
 //	bftbench -trace t.jsonl  # dump every trace event as JSON lines
 //	bftbench -csv phases.csv # per-node per-phase counters as CSV
+//
+// Byzantine mode runs one protocol against a live adversary from
+// internal/byz and prints the attacked run next to the fault-free
+// baseline, with per-phase traffic deltas:
+//
+//	bftbench -protocol zyzzyva -byz withhold            # replica 0 withholds votes
+//	bftbench -protocol sbft -byz equivocate -byz-nodes 0
+//	bftbench -protocol pbft -byz delay:10ms -byz-nodes 1,3
+//	bftbench -byz list                                  # behavior catalog
 package main
 
 import (
@@ -18,9 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/experiments"
+	"bftkit/internal/types"
 )
 
 func main() {
@@ -29,11 +42,22 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-phase breakdown after each run")
 	trace := flag.String("trace", "", "write JSON-lines trace events to this file")
 	csv := flag.String("csv", "", "write per-node per-phase counters to this CSV file")
+	proto := flag.String("protocol", "pbft", "protocol for -byz runs")
+	byzSpec := flag.String("byz", "", "Byzantine behavior spec (see -byz list), e.g. equivocate or delay:10ms")
+	byzNodes := flag.String("byz-nodes", "0", "comma-separated replica IDs that turn Byzantine")
+	seed := flag.Int64("seed", 7, "simulator seed for -byz runs")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *byzSpec == "list" {
+		for _, e := range byz.Catalog() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Help)
 		}
 		return
 	}
@@ -60,6 +84,27 @@ func main() {
 		w := bufio.NewWriter(f)
 		defer func() { w.Flush(); f.Close() }()
 		experiments.Observe.CSV = w
+	}
+
+	if *byzSpec != "" {
+		var nodes []types.NodeID
+		for _, part := range strings.Split(*byzNodes, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			id, err := strconv.Atoi(part)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bftbench: bad -byz-nodes entry %q\n", part)
+				os.Exit(1)
+			}
+			nodes = append(nodes, types.NodeID(id))
+		}
+		if err := experiments.RunByzantine(os.Stdout, *proto, *byzSpec, nodes, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *one != "" {

@@ -235,8 +235,10 @@ func (r *Requester) OnMessage(from types.NodeID, m types.Message) {
 	if p == nil || p.done {
 		return
 	}
-	if r.Opts.VerifyReplySigs && !r.env.Verifier().VerifySig(rep.Replica, rep.Digest(), rep.Sig) {
-		return
+	if r.Opts.VerifyReplySigs {
+		if rep.Replica != from || !r.env.Verifier().VerifySig(from, rep.Digest(), rep.Sig) {
+			return
+		}
 	}
 	if rep.View > r.viewHint {
 		r.viewHint = rep.View
@@ -247,7 +249,10 @@ func (r *Requester) OnMessage(from types.NodeID, m types.Message) {
 		set = make(map[types.NodeID]bool)
 		p.votes[key] = set
 	}
-	set[rep.Replica] = true
+	// Votes are keyed by the authenticated sender, not the claimed
+	// rep.Replica: with signature checks off, one Byzantine replica
+	// could otherwise stuff f+1 matching votes under forged identities.
+	set[from] = true
 	if len(set) >= r.Opts.RepliesNeeded(r.env.F()) {
 		p.done = true
 		r.env.StopTimer(r.timerID(rep.ClientSeq))

@@ -184,3 +184,48 @@ func TestAuthenticateVerifyHelpers(t *testing.T) {
 		t.Fatal("signature accepted under the wrong identity")
 	}
 }
+
+func TestRequesterVotesKeyedByAuthenticatedSender(t *testing.T) {
+	// One Byzantine replica mails f+1 replies with the same fabricated
+	// result, each claiming a different replica identity. With
+	// VerifyReplySigs off (the default) the signatures are not checked,
+	// so the only defense is keying votes by the network-authenticated
+	// sender: all stuffed votes collapse onto the one Byzantine node.
+	cl, _, _, done := newTestClient(t, RequesterOpts{})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	auth := crypto.NewAuthority(1)
+	for claimed := types.NodeID(0); claimed < 2; claimed++ {
+		m := reply(claimed, 1, "forged", auth)
+		m.R.Sig = []byte("garbage")
+		cl.Deliver(3, m) // every copy actually arrives from replica 3
+	}
+	if len(*done) != 0 {
+		t.Fatalf("client accepted a vote-stuffed result: %v", *done)
+	}
+	// Honest replicas still complete the request with the true result.
+	cl.Deliver(0, reply(0, 1, "ok", auth))
+	cl.Deliver(1, reply(1, 1, "ok", auth))
+	if len(*done) != 1 || (*done)[0] != "ok" {
+		t.Fatalf("done = %v, want the honest result", *done)
+	}
+}
+
+func TestRequesterRejectsIdentityMismatchWhenVerifying(t *testing.T) {
+	// With signature checks on, a reply whose claimed identity differs
+	// from the authenticated sender is discarded even if the signature
+	// itself verifies for the claimed identity (a replayed third-party
+	// reply must not count as the relayer's vote).
+	cl, _, _, done := newTestClient(t, RequesterOpts{VerifyReplySigs: true})
+	cl.Submit(&types.Request{ClientSeq: 1, Op: []byte("op")})
+	auth := crypto.NewAuthority(1)
+	cl.Deliver(3, reply(0, 1, "ok", auth)) // replica 3 relays replica 0's signed reply
+	cl.Deliver(3, reply(1, 1, "ok", auth))
+	if len(*done) != 0 {
+		t.Fatal("relayed replies counted as the relayer's votes")
+	}
+	cl.Deliver(0, reply(0, 1, "ok", auth))
+	cl.Deliver(1, reply(1, 1, "ok", auth))
+	if len(*done) != 1 {
+		t.Fatalf("done = %v", *done)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
@@ -61,6 +62,7 @@ var All = []Experiment{
 	{"X13", "Checkpointing: garbage collection and in-dark recovery (P4/P5)", X13CheckpointRecovery},
 	{"X14", "Robustness under a delay attack: Prime vs PBFT vs Raft (DC12)", X14RobustUnderAttack},
 	{"X15", "Per-phase message/byte accounting via the obsv layer (E2, P2)", X15PhaseAccounting},
+	{"X16", "Byzantine behaviors vs speculative fast paths (DC5–DC8, P6)", X16ByzantineFallback},
 }
 
 // Observe routes per-run observability output from every cluster the
@@ -108,6 +110,7 @@ type runCfg struct {
 	Seed        int64
 	Tune        func(*core.Config)
 	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
+	Byzantine   map[types.NodeID]byz.Behavior
 	Prepare     func(c *harness.Cluster)
 	// Window bounds the run when the protocol has perpetual timers
 	// (raftlite heartbeats); zero drains to idle.
@@ -137,7 +140,8 @@ func run(rc runCfg) (*harness.Cluster, result) {
 	c := harness.NewCluster(harness.Options{
 		Protocol: rc.Proto, N: rc.N, F: rc.F, Clients: rc.Clients,
 		Net: rc.Net, Seed: rc.Seed, Tune: rc.Tune, MakeReplica: rc.MakeReplica,
-		Trace: tr,
+		Byzantine: rc.Byzantine,
+		Trace:     tr,
 	})
 	tr.SetLabel(fmt.Sprintf("%s/n%d/seed%d", rc.Proto, c.Cfg.N, rc.Seed))
 	c.Start()

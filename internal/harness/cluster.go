@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/kvstore"
@@ -41,6 +42,11 @@ type Options struct {
 	// selected replicas (fault/attack injection: return nil to fall
 	// back to the registered constructor).
 	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
+	// Byzantine assigns a byz behavior to selected replicas. The node
+	// runs the protocol's honest code wrapped by the behavior
+	// (composing with MakeReplica overrides, which it wraps). Audit
+	// excludes these nodes automatically.
+	Byzantine map[types.NodeID]byz.Behavior
 	// Verbose routes replica traces to the given printf.
 	Verbose func(format string, args ...any)
 	// Trace, when set, observes the whole deployment: every network
@@ -176,6 +182,9 @@ func NewCluster(opts Options) *Cluster {
 		if proto == nil {
 			proto = reg.NewReplica(cfg)
 		}
+		if b := opts.Byzantine[id]; b != nil {
+			proto = byz.Wrap(proto, b)
+		}
 		rep := core.NewReplica(id, cfg, nodeDriver{id, c}, proto, app, c.Auth, hooks)
 		c.Apps = append(c.Apps, app)
 		c.Replicas = append(c.Replicas, rep)
@@ -239,11 +248,16 @@ func (c *Cluster) Crash(id types.NodeID) {
 }
 
 // Audit verifies the safety invariants across all currently honest
-// replicas; failed is the set excluded from the check (crashed or
-// Byzantine). It returns an error describing the first violation.
+// replicas; failed is the set excluded from the check (e.g. crashed
+// nodes). Replicas listed in Options.Byzantine are excluded
+// automatically — a Byzantine node's own history carries no guarantee.
+// It returns an error describing the first violation.
 func (c *Cluster) Audit(failed ...types.NodeID) error {
-	skip := make(map[types.NodeID]bool, len(failed))
+	skip := make(map[types.NodeID]bool, len(failed)+len(c.Opts.Byzantine))
 	for _, id := range failed {
+		skip[id] = true
+	}
+	for id := range c.Opts.Byzantine {
 		skip[id] = true
 	}
 	return c.Metrics.AuditSafety(func(id types.NodeID) bool { return !skip[id] })

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
@@ -104,6 +105,38 @@ func TestSilentLeaderReplaced(t *testing.T) {
 		t.Fatalf("completed %d with silent leader, want %d", got, want)
 	}
 	if err := c.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestByzWithholderStaysResponsive is PoE's differentiator (DC7) against
+// a live adversary: its 2f+1 certificates tolerate one silent replica
+// with no timeout and no view change, where Zyzzyva and SBFT both pay a
+// fallback.
+func TestByzWithholderStaysResponsive(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		Protocol: "poe", N: 4, Clients: 2, Seed: 7,
+		Tune: func(cfg *core.Config) {
+			cfg.BatchSize = 1
+			cfg.CheckpointInterval = 5
+			cfg.RequestTimeout = 100 * time.Millisecond
+		},
+		Byzantine: map[types.NodeID]byz.Behavior{3: byz.WithholdVotes()},
+	})
+	c.Start()
+	c.ClosedLoop(5, op)
+	for ran := time.Duration(0); ran < 30*time.Second && c.Metrics.Completed < 10; ran += time.Second {
+		c.Run(time.Second)
+	}
+	if got, want := c.Metrics.Completed, 10; got != want {
+		t.Fatalf("completed %d of %d with a withholding replica", got, want)
+	}
+	for id, vcs := range c.Metrics.ViewChanges {
+		if len(vcs) > 0 {
+			t.Fatalf("replica %v paid %d view changes for a withholder; DC7 promises responsiveness", id, len(vcs))
+		}
+	}
+	if err := c.Audit(); err != nil {
 		t.Fatal(err)
 	}
 }

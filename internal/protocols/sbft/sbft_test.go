@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/harness"
@@ -159,6 +160,40 @@ func TestForgedProofRejected(t *testing.T) {
 	c.RunUntilIdle(10 * time.Second)
 	if c.Replicas[2].Ledger().LastExecuted() != base {
 		t.Fatal("forged proof advanced the ledger")
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestByzWithholderFallsBackToSlowPath pits SBFT against a live vote
+// withholder from internal/byz: the all-replica fast path must yield
+// zero fast-commit proofs while the τ3 prepare/commit path carries the
+// whole workload (the paper's DC6 fallback).
+func TestByzWithholderFallsBackToSlowPath(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		Protocol: "sbft", N: 4, Clients: 2, Seed: 7,
+		Tune: func(cfg *core.Config) {
+			cfg.BatchSize = 1
+			cfg.CheckpointInterval = 5
+			cfg.RequestTimeout = 100 * time.Millisecond
+		},
+		Byzantine: map[types.NodeID]byz.Behavior{3: byz.WithholdVotes()},
+	})
+	c.Start()
+	c.ClosedLoop(5, op)
+	for ran := time.Duration(0); ran < 30*time.Second && c.Metrics.Completed < 10; ran += time.Second {
+		c.Run(time.Second)
+	}
+	if got, want := c.Metrics.Completed, 10; got != want {
+		t.Fatalf("completed %d of %d with a withholding replica", got, want)
+	}
+	kinds, _ := c.Net.KindCounts()
+	if kinds["SBFT-PROOF-fast-commit"] != 0 {
+		t.Fatalf("fast path produced %d proofs despite a silent replica", kinds["SBFT-PROOF-fast-commit"])
+	}
+	if kinds["SBFT-PROOF-prepare"] == 0 {
+		t.Fatal("slow path never engaged")
 	}
 	if err := c.Audit(); err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
@@ -152,5 +153,37 @@ func TestLeaderCrashViewChange(t *testing.T) {
 		if c.Apps[i].Hash() != h1 {
 			t.Fatalf("replica %d state diverges after view change", i)
 		}
+	}
+}
+
+// TestByzWithholderTriggersCommitRepair runs a live Byzantine replica
+// (internal/byz vote withholder) instead of a hand-rolled option: with
+// one replica silent in the ordering phase, the 3f+1 speculative quorum
+// is unreachable and every request must be repaired through the client's
+// 2f+1 commit-certificate path.
+func TestByzWithholderTriggersCommitRepair(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		Protocol: "zyzzyva", N: 4, Clients: 2, Seed: 7,
+		Tune: func(cfg *core.Config) {
+			cfg.BatchSize = 1
+			cfg.CheckpointInterval = 5
+			cfg.RequestTimeout = 100 * time.Millisecond
+		},
+		Byzantine: map[types.NodeID]byz.Behavior{3: byz.WithholdVotes()},
+	})
+	c.Start()
+	c.ClosedLoop(5, op)
+	for ran := time.Duration(0); ran < 30*time.Second && c.Metrics.Completed < 10; ran += time.Second {
+		c.Run(time.Second)
+	}
+	if got, want := c.Metrics.Completed, 10; got != want {
+		t.Fatalf("completed %d of %d with a withholding replica", got, want)
+	}
+	kinds, _ := c.Net.KindCounts()
+	if kinds["ZYZ-COMMIT"] == 0 {
+		t.Fatal("no commit certificates: the client never took the repair path")
+	}
+	if err := c.Audit(); err != nil {
+		t.Fatal(err)
 	}
 }

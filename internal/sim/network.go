@@ -231,6 +231,12 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 
 	drop := n.cfg.DropRate
 	base := n.cfg.Delay
+	// The per-link override replaces the base delay, but the pre-GST
+	// adversary still acts on top of it: an explicitly slow link does
+	// not become synchronous just because GST has not passed.
+	if d, ok := n.linkDelay[[2]types.NodeID{from, to}]; ok {
+		base = d
+	}
 	if now < n.cfg.GST {
 		drop = n.cfg.PreGSTDropRate
 		if n.cfg.PreGSTMaxDelay > base {
@@ -241,26 +247,15 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 		n.dropped++
 		return
 	}
-	if d, ok := n.linkDelay[[2]types.NodeID{from, to}]; ok {
-		base = d
-	}
 	delay := base + extra
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(rng.Int63n(int64(n.cfg.Jitter)))
 	}
 
 	size := SizeOf(m)
+	dup := time.Duration(-1)
 	if n.cfg.DuplicateRate > 0 && rng.Float64() < n.cfg.DuplicateRate {
-		dup := time.Duration(rng.Int63n(int64(2 * (base + time.Millisecond))))
-		n.inflight++
-		n.sched.After(delay+dup, func() {
-			n.inflight--
-			if h := n.nodes[to]; h != nil && !n.crashed[to] {
-				n.delivered++
-				n.tracer.MsgDelivered(n.sched.Now(), from, to, m, size)
-				h.Deliver(from, m)
-			}
-		})
+		dup = time.Duration(rng.Int63n(int64(2 * (base + time.Millisecond))))
 	}
 
 	// Egress serialization: the sender's link is busy until previous
@@ -286,23 +281,32 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 		n.tracer.ObserveQueueDepth(int(n.inflight))
 	}
 
-	n.inflight++
-	n.sched.After(delay, func() {
-		n.inflight--
-		if n.crashed[to] {
-			n.dropped++
-			return
-		}
-		h := n.nodes[to]
-		if h == nil {
-			n.dropped++
-			return
-		}
-		rs := n.Stats(to)
-		rs.MsgsRecv++
-		rs.BytesRecv += int64(size)
-		n.delivered++
-		n.tracer.MsgDelivered(n.sched.Now(), from, to, m, size)
-		h.Deliver(from, m)
-	})
+	deliverAt := func(d time.Duration) {
+		n.inflight++
+		n.sched.After(d, func() {
+			n.inflight--
+			if n.crashed[to] || (n.partActive && n.partition[from] != n.partition[to]) {
+				n.dropped++
+				return
+			}
+			h := n.nodes[to]
+			if h == nil {
+				n.dropped++
+				return
+			}
+			rs := n.Stats(to)
+			rs.MsgsRecv++
+			rs.BytesRecv += int64(size)
+			n.delivered++
+			n.tracer.MsgDelivered(n.sched.Now(), from, to, m, size)
+			h.Deliver(from, m)
+		})
+	}
+	// The original is scheduled first; the scheduler breaks same-instant
+	// ties in scheduling order, so a duplicate (dup >= 0) can never
+	// arrive before its original even when dup draws zero.
+	deliverAt(delay)
+	if dup >= 0 {
+		deliverAt(delay + dup)
+	}
 }

@@ -244,3 +244,122 @@ func TestDuplicateDelivery(t *testing.T) {
 		t.Fatalf("DuplicateRate=1 delivered %d copies, want 2", got)
 	}
 }
+
+func TestDuplicateStatsSymmetry(t *testing.T) {
+	// A duplicated message is one send and two deliveries; sender and
+	// receiver counters must agree with the delivered total.
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond, DuplicateRate: 1.0})
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) {}))
+	n.Send(0, 1, &probeMsg{})
+	s.RunUntilIdle(time.Second)
+
+	ss, rs := n.Stats(0), n.Stats(1)
+	if ss.MsgsSent != 1 {
+		t.Fatalf("MsgsSent = %d, want 1", ss.MsgsSent)
+	}
+	if rs.MsgsRecv != 2 {
+		t.Fatalf("MsgsRecv = %d, want 2 (duplicate must be counted at the receiver)", rs.MsgsRecv)
+	}
+	if rs.BytesRecv != 2*ss.BytesSent {
+		t.Fatalf("BytesRecv = %d, want 2×BytesSent = %d", rs.BytesRecv, 2*ss.BytesSent)
+	}
+	if delivered, dropped := n.Totals(); delivered != 2 || dropped != 0 {
+		t.Fatalf("Totals = (%d, %d), want (2, 0)", delivered, dropped)
+	}
+}
+
+func TestDuplicateNeverBeatsOriginal(t *testing.T) {
+	// Egress serialization delays the original copy; the duplicate must
+	// be held to at least the same schedule instead of sneaking out on
+	// the pre-serialization delay.
+	s := NewScheduler(1)
+	cost := 10 * time.Millisecond
+	n := NewNetwork(s, NetConfig{Delay: time.Millisecond, DuplicateRate: 1.0, SendCostPerMsg: cost})
+	first := make(map[int]time.Duration)
+	n.Register(1, HandlerFunc(func(_ types.NodeID, m types.Message) {
+		k := m.(*probeMsg).N
+		if _, seen := first[k]; !seen {
+			first[k] = s.Now()
+		}
+	}))
+	const msgs = 4
+	for i := 0; i < msgs; i++ {
+		n.Send(0, 1, &probeMsg{N: i})
+	}
+	s.RunUntilIdle(time.Second)
+	for i := 0; i < msgs; i++ {
+		// Message i leaves the sender only after i+1 serialization slots.
+		if min := time.Duration(i+1) * cost; first[i] < min {
+			t.Fatalf("msg %d first arrived at %v, before its egress-serialized schedule %v (duplicate beat the original)", i, first[i], min)
+		}
+	}
+}
+
+func TestDuplicateRespectsMidFlightPartition(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: 10 * time.Millisecond, DuplicateRate: 1.0})
+	got := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { got++ }))
+	n.Send(0, 1, &probeMsg{})
+	s.After(time.Millisecond, func() { n.Partition([]types.NodeID{0}, []types.NodeID{1}) })
+	s.RunUntilIdle(time.Second)
+	if got != 0 {
+		t.Fatalf("partition imposed mid-flight, yet %d copies were delivered", got)
+	}
+	if delivered, dropped := n.Totals(); delivered != 0 || dropped != 2 {
+		t.Fatalf("Totals = (%d, %d), want both copies dropped (0, 2)", delivered, dropped)
+	}
+}
+
+func TestDuplicateRespectsMidFlightCrash(t *testing.T) {
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{Delay: 10 * time.Millisecond, DuplicateRate: 1.0})
+	got := 0
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { got++ }))
+	n.Send(0, 1, &probeMsg{})
+	s.After(time.Millisecond, func() { n.Crash(1) })
+	s.RunUntilIdle(time.Second)
+	if got != 0 {
+		t.Fatalf("receiver crashed mid-flight, yet %d copies were delivered", got)
+	}
+	if delivered, dropped := n.Totals(); delivered != 0 || dropped != 2 {
+		t.Fatalf("Totals = (%d, %d), want both copies dropped (0, 2)", delivered, dropped)
+	}
+}
+
+func TestLinkDelayStillAdversarialPreGST(t *testing.T) {
+	// A per-link override replaces the base delay but must not disable
+	// the pre-GST adversary: before GST an explicitly slow link can be
+	// slowed further, up to PreGSTMaxDelay.
+	link := 200 * time.Millisecond
+	s := NewScheduler(1)
+	n := NewNetwork(s, NetConfig{
+		Delay:          time.Millisecond,
+		GST:            10 * time.Second,
+		PreGSTMaxDelay: 500 * time.Millisecond,
+	})
+	n.SetLinkDelay(0, 1, link)
+	var arrivals []time.Duration
+	n.Register(1, HandlerFunc(func(types.NodeID, types.Message) { arrivals = append(arrivals, s.Now()) }))
+	const msgs = 10
+	for i := 0; i < msgs; i++ {
+		n.Send(0, 1, &probeMsg{N: i})
+	}
+	s.RunUntilIdle(20 * time.Second)
+	if len(arrivals) != msgs {
+		t.Fatalf("delivered %d of %d", len(arrivals), msgs)
+	}
+	max := time.Duration(0)
+	for _, a := range arrivals {
+		if a < link {
+			t.Fatalf("arrival at %v is below the link override %v", a, link)
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if max <= link {
+		t.Fatalf("all %d pre-GST arrivals at exactly the override %v — adversarial delay was discarded", msgs, link)
+	}
+}
