@@ -1,7 +1,10 @@
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench fuzz
 
 check: ## vet + build + race-enabled tests (what CI runs)
 	./scripts/check.sh
+
+fuzz: ## chaos campaign: 256 random fault schedules under the invariant oracle
+	go run ./cmd/bftbench -fuzz -fuzz-budget 256 -seed 1
 
 build:
 	go build ./...

@@ -20,6 +20,17 @@
 //	bftbench -protocol sbft -byz equivocate -byz-nodes 0
 //	bftbench -protocol pbft -byz delay:10ms -byz-nodes 1,3
 //	bftbench -byz list                                  # behavior catalog
+//
+// Fuzz mode explores random fault schedules (crashes, partitions, delay
+// spikes, Byzantine replicas, client churn) across random protocol and
+// cluster configurations on the deterministic simulator, checking the
+// invariant oracle continuously. Failures are shrunk to a minimal
+// schedule and written as JSON reproducers:
+//
+//	bftbench -fuzz -fuzz-budget 200 -seed 1      # explore 200 schedules
+//	bftbench -fuzz -fuzz-time 10m                # nightly: cap on wall clock
+//	bftbench -fuzz -fuzz-protocols pbft,hotstuff # restrict the sweep
+//	bftbench -fuzz-replay chaos-out/chaos-pbft-seed1-case0007.json
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"bftkit/internal/byz"
+	"bftkit/internal/chaos"
 	"bftkit/internal/experiments"
 	"bftkit/internal/types"
 )
@@ -45,8 +57,41 @@ func main() {
 	proto := flag.String("protocol", "pbft", "protocol for -byz runs")
 	byzSpec := flag.String("byz", "", "Byzantine behavior spec (see -byz list), e.g. equivocate or delay:10ms")
 	byzNodes := flag.String("byz-nodes", "0", "comma-separated replica IDs that turn Byzantine")
-	seed := flag.Int64("seed", 7, "simulator seed for -byz runs")
+	seed := flag.Int64("seed", 7, "simulator seed for -byz and -fuzz runs")
+	fuzz := flag.Bool("fuzz", false, "run a chaos campaign: random fault schedules under the invariant oracle")
+	fuzzBudget := flag.Int("fuzz-budget", 256, "schedules to explore per -fuzz campaign")
+	fuzzTime := flag.Duration("fuzz-time", 0, "wall-clock cap for -fuzz (0 = budget only)")
+	fuzzOut := flag.String("fuzz-out", "chaos-out", "directory for shrunken JSON reproducers")
+	fuzzProtos := flag.String("fuzz-protocols", "", "comma-separated protocol subset for -fuzz (default: all)")
+	fuzzReplay := flag.String("fuzz-replay", "", "re-execute one reproducer (artifact or bare schedule JSON)")
 	flag.Parse()
+
+	if *fuzzReplay != "" {
+		os.Exit(replayOne(*fuzzReplay))
+	}
+	if *fuzz {
+		var protos []string
+		for _, p := range strings.Split(*fuzzProtos, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				protos = append(protos, p)
+			}
+		}
+		res := chaos.Fuzz(chaos.FuzzOptions{
+			Seed:      *seed,
+			Budget:    *fuzzBudget,
+			MaxTime:   *fuzzTime,
+			Protocols: protos,
+			OutDir:    *fuzzOut,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		fmt.Println(res.Verdict())
+		if len(res.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All {
@@ -120,6 +165,25 @@ func main() {
 		runOne(e)
 		fmt.Println()
 	}
+}
+
+func replayOne(path string) int {
+	rep, err := chaos.Replay(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replay %s: protocol=%s n=%d completed=%d/%d end=%v msgs=%d\n",
+		path, rep.Schedule.Config.Protocol, rep.Schedule.Config.N,
+		rep.Completed, rep.Expected, rep.EndTime, rep.Msgs)
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION [%s] at %v: %s\n", v.Invariant, v.At, v.Detail)
+		}
+		return 1
+	}
+	fmt.Println("  all invariants hold")
+	return 0
 }
 
 func runOne(e experiments.Experiment) {

@@ -1,0 +1,53 @@
+package byz
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzByzSpecParse pins the Parse/Spec inverse pair: any spec Parse
+// accepts must render (via Spec) back into a string that re-parses to
+// the same behavior. Chaos reproducer artifacts and harness repro lines
+// both rely on this — a spec that parses but doesn't round-trip would
+// produce artifacts that replay a different adversary than the one that
+// found the bug.
+func FuzzByzSpecParse(f *testing.F) {
+	for _, e := range Catalog() {
+		f.Add(e.Name)
+	}
+	f.Add("delay:2ms")
+	f.Add("delay:1h2m3s")
+	f.Add("stale:500ms")
+	f.Add("delay:")
+	f.Add("stale:-5ms")
+	f.Add("equivocate:unexpected-arg")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		b, err := Parse(spec)
+		if err != nil {
+			if b != nil {
+				t.Fatalf("Parse(%q) returned both a behavior and an error: %v", spec, err)
+			}
+			return
+		}
+		if b == nil {
+			t.Fatalf("Parse(%q) returned nil behavior without an error", spec)
+		}
+		s := Spec(b)
+		b2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Spec(Parse(%q)) = %q does not re-parse: %v", spec, s, err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("round trip changed the behavior: Parse(%q)=%#v, Parse(%q)=%#v", spec, b, s, b2)
+		}
+		if s2 := Spec(b2); s2 != s {
+			t.Fatalf("Spec is not stable: %q then %q", s, s2)
+		}
+		// Every parseable behavior must instantiate a working actor.
+		if b.New() == nil {
+			t.Fatalf("Parse(%q).New() returned nil actor", spec)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package byz
+
+// Spec renders a behavior back into the grammar Parse accepts, so a
+// harness failure can print a `-byz` flag that reproduces the exact
+// adversary. It inverts Parse for every built-in behavior; anything
+// outside the grammar (compositions, targeted wrappers) falls back to
+// Name(), which is descriptive but not necessarily re-parseable.
+func Spec(b Behavior) string {
+	switch v := b.(type) {
+	case Equivocate:
+		return "equivocate"
+	case SilentPhases:
+		return "withhold"
+	case DelayProposals:
+		if v.Delay != 0 {
+			return "delay:" + v.Delay.String()
+		}
+		return "delay"
+	case CorruptResults:
+		if v.Stuff {
+			return "stuff"
+		}
+		return "corrupt"
+	case StaleViewSpam:
+		if v.Interval != 0 {
+			return "stale:" + v.Interval.String()
+		}
+		return "stale"
+	}
+	return b.Name()
+}

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"bftkit/internal/core"
+)
+
+// FuzzOptions configures one fuzzing campaign.
+type FuzzOptions struct {
+	// Seed drives schedule generation; a given (Seed, Budget, Protocols)
+	// triple always explores the same schedules and reaches the same
+	// verdict.
+	Seed int64
+	// Budget is how many schedules to explore (default 256).
+	Budget int
+	// MaxTime, when nonzero, stops exploration after this much wall
+	// clock even if Budget is not exhausted (nightly jobs cap on time;
+	// note a time-capped run's explored count is machine-dependent).
+	MaxTime time.Duration
+	// Protocols restricts the campaign; default is every registered
+	// protocol (round-robin, so small budgets still touch all of them).
+	Protocols []string
+	// OutDir, when set, receives one JSON reproducer per failure.
+	OutDir string
+	// ShrinkBudget caps candidate runs per failure shrink (default
+	// DefaultShrinkBudget); negative disables shrinking.
+	ShrinkBudget int
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Failure is one schedule the oracle rejected, after shrinking.
+type Failure struct {
+	Case     int       `json:"case"`
+	Artifact *Artifact `json:"artifact"`
+	// Path is where the reproducer was written ("" if no OutDir).
+	Path string `json:"path,omitempty"`
+	// Report is the (shrunken) failing run.
+	Report *Report `json:"-"`
+}
+
+// FuzzResult summarizes a campaign.
+type FuzzResult struct {
+	Seed     int64
+	Explored int
+	Failures []Failure
+}
+
+// Verdict renders the one-line summary the CLI prints. For a fixed
+// (seed, budget, protocols) it is deterministic across runs.
+func (r *FuzzResult) Verdict() string {
+	if len(r.Failures) == 0 {
+		return fmt.Sprintf("chaos: PASS — %d schedules explored, 0 invariant violations (seed=%d)", r.Explored, r.Seed)
+	}
+	first := r.Failures[0]
+	return fmt.Sprintf("chaos: FAIL — %d of %d schedules violated invariants; first: case %d %s [%s]",
+		len(r.Failures), r.Explored, first.Case, first.Artifact.Schedule.Config.Protocol, first.Artifact.Detail)
+}
+
+// Fuzz explores Budget random schedules, shrinks every failure, and
+// (when OutDir is set) writes one reproducer per failure. It keeps
+// exploring after a failure — a campaign maps the whole failure surface
+// rather than stopping at the first crack.
+func Fuzz(opts FuzzOptions) *FuzzResult {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 256
+	}
+	if opts.ShrinkBudget == 0 {
+		opts.ShrinkBudget = DefaultShrinkBudget
+	}
+	protocols := opts.Protocols
+	if len(protocols) == 0 {
+		protocols = core.Names()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &FuzzResult{Seed: opts.Seed}
+	start := time.Now()
+	for i := 0; i < opts.Budget; i++ {
+		if opts.MaxTime > 0 && time.Since(start) > opts.MaxTime {
+			logf("chaos: wall-clock budget exhausted after %d schedules", res.Explored)
+			break
+		}
+		s := Generate(rng, protocols, i)
+		rep := Run(s)
+		res.Explored++
+		if !rep.Failed() {
+			continue
+		}
+
+		origEvents := len(rep.Schedule.Events)
+		foundBy := fmt.Sprintf("fuzz seed=%d case=%d", opts.Seed, i)
+		shrinkRuns := 0
+		if opts.ShrinkBudget > 0 {
+			var min *Report
+			min, shrinkRuns = Shrink(rep, opts.ShrinkBudget)
+			if len(min.Schedule.Events) < origEvents || min != rep {
+				foundBy = fmt.Sprintf("%s (shrunk %d→%d events in %d runs)",
+					foundBy, origEvents, len(min.Schedule.Events), shrinkRuns)
+			}
+			rep = min
+		}
+
+		f := Failure{Case: i, Artifact: NewArtifact(rep, foundBy), Report: rep}
+		if opts.OutDir != "" {
+			f.Path = filepath.Join(opts.OutDir,
+				fmt.Sprintf("chaos-%s-seed%d-case%04d.json", s.Config.Protocol, opts.Seed, i))
+			if err := f.Artifact.Write(f.Path); err != nil {
+				logf("chaos: writing reproducer: %v", err)
+				f.Path = ""
+			}
+		}
+		res.Failures = append(res.Failures, f)
+		logf("chaos: case %d (%s) FAILED: %s%s", i, s.Config.Protocol, f.Artifact.Detail,
+			pathSuffix(f.Path))
+	}
+	return res
+}
+
+func pathSuffix(path string) string {
+	if path == "" {
+		return ""
+	}
+	return " → " + path
+}

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactVersion stamps emitted reproducers so a future format change
+// can keep loading old corpus files.
+const ArtifactVersion = 1
+
+// Artifact is the JSON reproducer the fuzzer emits for a failing
+// schedule. The Schedule inside is everything needed to replay the run
+// bit-for-bit; the rest is provenance for the human reading the file.
+type Artifact struct {
+	Version int `json:"version"`
+	// FoundBy records the fuzz invocation that produced this artifact
+	// ("fuzz seed=1 case=42 (shrunk from 9 events)").
+	FoundBy string `json:"found_by,omitempty"`
+	// Invariants lists the violated invariant classes.
+	Invariants []string `json:"invariants,omitempty"`
+	// Detail is the first violation's message, the run's verdict.
+	Detail   string   `json:"detail,omitempty"`
+	Schedule Schedule `json:"schedule"`
+}
+
+// NewArtifact packages a failing report as a reproducer.
+func NewArtifact(rep *Report, foundBy string) *Artifact {
+	a := &Artifact{
+		Version:  ArtifactVersion,
+		FoundBy:  foundBy,
+		Schedule: rep.Schedule,
+	}
+	seen := make(map[string]bool)
+	for _, v := range rep.Violations {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			a.Invariants = append(a.Invariants, v.Invariant)
+		}
+	}
+	if first := rep.First(); first != nil {
+		a.Detail = first.String()
+	}
+	return a
+}
+
+// Write stores the artifact as indented JSON, creating parent
+// directories as needed.
+func (a *Artifact) Write(path string) error {
+	raw, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("chaos: %v", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("chaos: %v", err)
+		}
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Replay loads a schedule (bare or artifact JSON) and runs it. The
+// verdict is in the returned report; replaying a reproducer from the
+// corpus is expected to fail only while the underlying bug is alive.
+func Replay(path string) (*Report, error) {
+	s, err := LoadSchedule(path)
+	if err != nil {
+		return nil, err
+	}
+	return Run(s), nil
+}

@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"bftkit/internal/byz"
+	"bftkit/internal/core"
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/obsv"
+	"bftkit/internal/sim"
+	"bftkit/internal/types"
+)
+
+// Grace is how much virtual time past Quiet() an eventually-good
+// schedule gets to finish its workload before the liveness invariant
+// fires. It is deliberately loose — tens of view-change rounds at LAN
+// timeouts — because the oracle must never flag a slow-but-correct run.
+const Grace = 30 * time.Second
+
+// runStep is the slice the runner advances virtual time by between
+// completion checks. Protocols with periodic timers (heartbeats) never
+// drain the event queue, so the run loop slices instead of RunUntilIdle.
+const runStep = 250 * time.Millisecond
+
+// drainTime is the extra virtual time after the workload completes (or
+// the deadline passes) in which late commits and executions may still
+// land before the oracle's final durability check.
+const drainTime = 2 * time.Second
+
+// Report is the outcome of running one schedule.
+type Report struct {
+	Schedule  Schedule      `json:"schedule"`
+	Completed int           `json:"completed"`
+	Expected  int           `json:"expected"`
+	EndTime   time.Duration `json:"end_time"`
+	// Msgs and Bytes total the ordering-phase traffic (obsv accounting);
+	// two runs of the same schedule must agree on them exactly, which is
+	// what the determinism test pins.
+	Msgs       int64       `json:"msgs"`
+	Bytes      int64       `json:"bytes"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// First returns the first violation, the run's verdict.
+func (r *Report) First() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// InvariantSet returns the set of violated invariant names; the
+// shrinker uses it to demand the same failure class from a candidate.
+func (r *Report) InvariantSet() map[string]bool {
+	set := make(map[string]bool, len(r.Violations))
+	for _, v := range r.Violations {
+		set[v.Invariant] = true
+	}
+	return set
+}
+
+// Run executes one schedule on the deterministic simulator and checks
+// the invariant oracle throughout. The schedule must Validate.
+func Run(s Schedule) *Report {
+	if err := s.Validate(); err != nil {
+		panic("chaos: Run on invalid schedule: " + err.Error())
+	}
+	cfg := s.Config
+
+	byzm := make(map[types.NodeID]byz.Behavior, len(cfg.Byz))
+	for _, a := range cfg.Byz {
+		b, err := byz.Parse(a.Spec)
+		if err != nil {
+			panic("chaos: validated spec failed to parse: " + err.Error())
+		}
+		byzm[a.Node] = b
+	}
+
+	var oracle *Oracle
+	tracer := obsv.New(obsv.Options{})
+	c := harness.NewCluster(harness.Options{
+		Protocol:  cfg.Protocol,
+		N:         cfg.N,
+		F:         cfg.F,
+		Clients:   cfg.Clients,
+		Net:       cfg.Net,
+		Seed:      cfg.Seed,
+		Byzantine: byzm,
+		Trace:     tracer,
+		// Commit every slot: speculative protocols keep lazy commit
+		// tails open for a whole checkpoint window, which would make
+		// acked-durability unobservable on short chaos workloads.
+		Tune: func(cc *core.Config) { cc.CheckpointInterval = 1 },
+		Observers: []harness.Observer{
+			// The oracle is built after the cluster (it needs the
+			// scheduler's clock), so indirect through a forwarder.
+			observerFunc(func(f func(*Oracle)) {
+				if oracle != nil {
+					f(oracle)
+				}
+			}),
+		},
+	})
+	oracle = NewOracle(cfg, c.Sched.Now)
+
+	// Re-register every replica behind a delivery probe so the oracle
+	// sees each network delivery with its endpoints. This deliberately
+	// sits outside internal/sim: a regression in the simulator's own
+	// delivery path (duplicates ignoring partitions or crashes) is
+	// caught here, not trusted there.
+	for i, rep := range c.Replicas {
+		id := types.NodeID(i)
+		target := rep
+		c.Net.Register(id, sim.HandlerFunc(func(from types.NodeID, m types.Message) {
+			oracle.OnDeliver(from, id)
+			target.Deliver(from, m)
+		}))
+	}
+
+	// Closed-loop workload with pause/resume churn, driven manually so
+	// client pauses hold back the next submission rather than the
+	// in-flight one.
+	expected := cfg.Clients * cfg.Requests
+	issued := make([]int, cfg.Clients)
+	paused := make([]bool, cfg.Clients)
+	inflight := make([]bool, cfg.Clients)
+	completed := 0
+	op := func(client, k int) []byte {
+		return kvstore.Put(fmt.Sprintf("chaos-c%d-k%d", client, k), []byte(fmt.Sprintf("v%d", k)))
+	}
+	submitNext := func(i int) {
+		if inflight[i] || paused[i] || issued[i] >= cfg.Requests {
+			return
+		}
+		issued[i]++
+		inflight[i] = true
+		c.Submit(i, op(i, issued[i]))
+	}
+	c.DoneHook = func(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
+		i := int(id - types.ClientIDBase)
+		inflight[i] = false
+		completed++
+		submitNext(i)
+	}
+
+	// Schedule the fault timeline. Events mutate both the network and
+	// the oracle's mirror in the same scheduler callback, so the probe
+	// never observes a half-applied fault.
+	for _, ev := range s.Events {
+		ev := ev
+		c.Sched.At(ev.At, func() {
+			switch ev.Kind {
+			case EvCrash:
+				c.CrashNet(ev.Node)
+				oracle.Crash(ev.Node)
+			case EvRestart:
+				c.Restart(ev.Node)
+				oracle.Restart(ev.Node)
+			case EvPartition:
+				c.Net.Partition(ev.Group)
+				oracle.Partition(ev.Group)
+			case EvHeal:
+				c.Net.Heal()
+				oracle.Heal()
+			case EvDelaySpike:
+				for j := 0; j < cfg.N; j++ {
+					other := types.NodeID(j)
+					if other == ev.Node {
+						continue
+					}
+					c.Net.SetLinkDelay(ev.Node, other, ev.Dur)
+					c.Net.SetLinkDelay(other, ev.Node, ev.Dur)
+				}
+			case EvDelayClear:
+				for j := 0; j < cfg.N; j++ {
+					other := types.NodeID(j)
+					if other == ev.Node {
+						continue
+					}
+					c.Net.ClearLinkDelay(ev.Node, other)
+					c.Net.ClearLinkDelay(other, ev.Node)
+				}
+			case EvClientPause:
+				paused[ev.Node] = true
+			case EvClientResume:
+				paused[ev.Node] = false
+				submitNext(int(ev.Node))
+			}
+		})
+	}
+
+	c.Start()
+	for i := 0; i < cfg.Clients; i++ {
+		submitNext(i)
+	}
+
+	deadline := s.Quiet() + Grace
+	for completed < expected && c.Sched.Now() < deadline {
+		c.Run(runStep)
+	}
+	c.Run(drainTime)
+
+	oracle.Finalize(completed, expected, s.EventuallyGood(), deadline)
+	violations := oracle.Violations()
+	// The end-of-run audit is redundant with the continuous checks but
+	// cheap; a discrepancy would mean the oracle itself missed something.
+	if err := c.Audit(); err != nil && len(violations) < maxViolations {
+		violations = append(violations, Violation{
+			Invariant: InvAgreement,
+			At:        c.Sched.Now(),
+			Detail:    "end-of-run audit: " + err.Error(),
+		})
+	}
+
+	msgs, bytes := tracer.OrderingTotals()
+	return &Report{
+		Schedule:   s,
+		Completed:  completed,
+		Expected:   expected,
+		EndTime:    c.Sched.Now(),
+		Msgs:       msgs,
+		Bytes:      bytes,
+		Violations: violations,
+	}
+}
+
+// observerFunc adapts a late-bound *Oracle to harness.Observer: the
+// cluster needs its observers at construction time, but the oracle
+// needs the cluster's clock.
+type observerFunc func(func(*Oracle))
+
+func (o observerFunc) OnCommit(id types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, proof *types.CommitProof, at time.Duration) {
+	o(func(or *Oracle) { or.OnCommit(id, v, seq, b, proof, at) })
+}
+
+func (o observerFunc) OnExecute(id types.NodeID, seq types.SeqNum, b *types.Batch, results [][]byte, at time.Duration) {
+	o(func(or *Oracle) { or.OnExecute(id, seq, b, results, at) })
+}
+
+func (o observerFunc) OnViewChange(id types.NodeID, v types.View, at time.Duration) {
+	o(func(or *Oracle) { or.OnViewChange(id, v, at) })
+}
+
+func (o observerFunc) OnViolation(id types.NodeID, err error) {
+	o(func(or *Oracle) { or.OnViolation(id, err) })
+}
+
+func (o observerFunc) OnDone(client types.NodeID, req *types.Request, result []byte, at time.Duration) {
+	o(func(or *Oracle) { or.OnDone(client, req, result, at) })
+}

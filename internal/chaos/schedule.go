@@ -1,0 +1,257 @@
+// Package chaos is the deterministic fault-schedule fuzzer: it generates
+// random fault timelines — crashes and restarts, partitions and heals,
+// per-link delay spikes, adversarial pre-GST networks, client churn, and
+// Byzantine behaviors from internal/byz — over random (protocol × n ×
+// network) configurations, runs them on the deterministic simulator, and
+// checks a continuous invariant oracle while the run is in flight rather
+// than only auditing at the end.
+//
+// The paper's design space is a catalog of what BFT protocols must
+// survive (P1–P6 faults, DC5–DC8 fallback paths); chaos is the
+// machine-generated adversary every registered protocol faces on equal
+// terms. Because everything runs on internal/sim's virtual clock, a
+// schedule is a pure value: the same schedule always produces the same
+// verdict, a failing schedule can be shrunk to a minimal reproducer, and
+// the reproducer replays bit-for-bit from a JSON artifact via
+// `bftbench -fuzz-replay`.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"bftkit/internal/byz"
+	"bftkit/internal/core"
+	"bftkit/internal/sim"
+	"bftkit/internal/types"
+)
+
+// EventKind names one kind of fault-timeline event.
+type EventKind string
+
+// The fault vocabulary. Crash/restart act at the network level (the
+// replica's durable state survives, as state on a disk would); partition
+// isolates Group from everyone else until the next heal; delay spikes
+// slow every link touching Node; client pause/resume model churn in the
+// submitting population (Node is a client index for those).
+const (
+	EvCrash        EventKind = "crash"
+	EvRestart      EventKind = "restart"
+	EvPartition    EventKind = "partition"
+	EvHeal         EventKind = "heal"
+	EvDelaySpike   EventKind = "delay-spike"
+	EvDelayClear   EventKind = "delay-clear"
+	EvClientPause  EventKind = "client-pause"
+	EvClientResume EventKind = "client-resume"
+)
+
+// Event is one entry in a fault timeline.
+type Event struct {
+	At   time.Duration `json:"at"`
+	Kind EventKind     `json:"kind"`
+	// Node is the target replica (crash/restart/delay-spike/delay-clear)
+	// or client index (client-pause/client-resume).
+	Node types.NodeID `json:"node,omitempty"`
+	// Dur parameterizes the event (delay-spike: the one-way link delay).
+	Dur time.Duration `json:"dur,omitempty"`
+	// Group is the replica set a partition isolates from the rest.
+	Group []types.NodeID `json:"group,omitempty"`
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvPartition:
+		return fmt.Sprintf("%v %s %v", e.At, e.Kind, e.Group)
+	case EvDelaySpike:
+		return fmt.Sprintf("%v %s node %d +%v", e.At, e.Kind, e.Node, e.Dur)
+	case EvHeal:
+		return fmt.Sprintf("%v %s", e.At, e.Kind)
+	default:
+		return fmt.Sprintf("%v %s %d", e.At, e.Kind, e.Node)
+	}
+}
+
+// ByzAssignment makes one replica run a byz behavior for the whole run.
+type ByzAssignment struct {
+	Node types.NodeID `json:"node"`
+	// Spec is a behavior in internal/byz's Parse grammar ("equivocate",
+	// "delay:10ms", …); keeping the grammar here keeps schedules
+	// serializable.
+	Spec string `json:"spec"`
+}
+
+// Config is the (protocol × n × network × workload) point a schedule
+// runs against.
+type Config struct {
+	Protocol string          `json:"protocol"`
+	N        int             `json:"n"`
+	F        int             `json:"f"`
+	Clients  int             `json:"clients"`
+	Requests int             `json:"requests"` // per client, closed loop
+	Seed     int64           `json:"seed"`     // simulator seed
+	Net      sim.NetConfig   `json:"net"`
+	Byz      []ByzAssignment `json:"byz,omitempty"`
+}
+
+// Schedule is one complete fuzz case: a configuration plus a fault
+// timeline. It is a pure value — running it twice gives identical runs.
+type Schedule struct {
+	Config Config  `json:"config"`
+	Events []Event `json:"events"`
+}
+
+// Validate rejects schedules the runner cannot execute faithfully:
+// unknown protocols, undersized clusters, unparseable byz specs, or
+// events referencing nodes outside the cluster. Replay artifacts are
+// validated on load so a hand-edited file fails loudly, not weirdly.
+func (s *Schedule) Validate() error {
+	c := &s.Config
+	reg, ok := core.Lookup(c.Protocol)
+	if !ok {
+		return fmt.Errorf("chaos: unknown protocol %q", c.Protocol)
+	}
+	if c.F <= 0 {
+		return fmt.Errorf("chaos: f must be positive, got %d", c.F)
+	}
+	if min := reg.Profile.MinReplicas(c.F); c.N < min {
+		return fmt.Errorf("chaos: %s needs n >= %d for f=%d, got %d", c.Protocol, min, c.F, c.N)
+	}
+	if c.Clients <= 0 || c.Requests <= 0 {
+		return fmt.Errorf("chaos: need at least one client and one request (clients=%d requests=%d)", c.Clients, c.Requests)
+	}
+	if c.Seed == 0 {
+		return fmt.Errorf("chaos: seed must be nonzero (zero would silently fall back to the harness default)")
+	}
+	seen := make(map[types.NodeID]bool)
+	for _, b := range c.Byz {
+		if int(b.Node) < 0 || int(b.Node) >= c.N {
+			return fmt.Errorf("chaos: byz node %d outside cluster of %d", b.Node, c.N)
+		}
+		if seen[b.Node] {
+			return fmt.Errorf("chaos: duplicate byz assignment for node %d", b.Node)
+		}
+		seen[b.Node] = true
+		if _, err := byz.Parse(b.Spec); err != nil {
+			return fmt.Errorf("chaos: byz assignment for node %d: %v", b.Node, err)
+		}
+	}
+	if !sort.SliceIsSorted(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At }) {
+		return fmt.Errorf("chaos: events must be sorted by At")
+	}
+	for i, ev := range s.Events {
+		switch ev.Kind {
+		case EvCrash, EvRestart, EvDelaySpike, EvDelayClear:
+			if int(ev.Node) < 0 || int(ev.Node) >= c.N {
+				return fmt.Errorf("chaos: event %d (%s) targets node %d outside cluster of %d", i, ev.Kind, ev.Node, c.N)
+			}
+		case EvClientPause, EvClientResume:
+			if int(ev.Node) < 0 || int(ev.Node) >= c.Clients {
+				return fmt.Errorf("chaos: event %d (%s) targets client %d of %d", i, ev.Kind, ev.Node, c.Clients)
+			}
+		case EvPartition:
+			if len(ev.Group) == 0 || len(ev.Group) >= c.N {
+				return fmt.Errorf("chaos: event %d partitions %d of %d replicas; need a proper nonempty subset", i, len(ev.Group), c.N)
+			}
+			for _, id := range ev.Group {
+				if int(id) < 0 || int(id) >= c.N {
+					return fmt.Errorf("chaos: event %d partition member %d outside cluster of %d", i, id, c.N)
+				}
+			}
+		case EvHeal:
+		default:
+			return fmt.Errorf("chaos: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// faultyAtEnd is the set of nodes that count against f at end of run:
+// byz assignments plus crashes never followed by a restart.
+func (s *Schedule) faultyAtEnd() map[types.NodeID]bool {
+	down := make(map[types.NodeID]bool)
+	for _, b := range s.Config.Byz {
+		down[b.Node] = true
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvCrash:
+			down[ev.Node] = true
+		case EvRestart:
+			delete(down, ev.Node)
+		}
+	}
+	for _, b := range s.Config.Byz { // a restarted byz node is still byz
+		down[b.Node] = true
+	}
+	return down
+}
+
+// EventuallyGood reports whether the schedule settles into the paper's
+// post-GST good case: every partition healed, every paused client
+// resumed, at most f nodes faulty (Byzantine or left crashed) at the
+// end. Liveness-within-bound is only an obligation on such schedules;
+// safety is an obligation on every schedule.
+func (s *Schedule) EventuallyGood() bool {
+	partitioned := false
+	paused := make(map[types.NodeID]bool)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvPartition:
+			partitioned = true
+		case EvHeal:
+			partitioned = false
+		case EvClientPause:
+			paused[ev.Node] = true
+		case EvClientResume:
+			delete(paused, ev.Node)
+		}
+	}
+	if partitioned || len(paused) > 0 {
+		return false
+	}
+	return len(s.faultyAtEnd()) <= s.Config.F
+}
+
+// Quiet returns the virtual time by which every disturbance is over:
+// the later of GST and the last event.
+func (s *Schedule) Quiet() time.Duration {
+	q := s.Config.Net.GST
+	if n := len(s.Events); n > 0 && s.Events[n-1].At > q {
+		q = s.Events[n-1].At
+	}
+	return q
+}
+
+// MarshalIndent renders the schedule as the canonical artifact JSON.
+func (s *Schedule) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// LoadSchedule reads and validates a schedule (or a full replay
+// artifact, whose schedule is then extracted) from a JSON file.
+func LoadSchedule(path string) (Schedule, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: %v", err)
+	}
+	// Accept either a bare Schedule or a replay Artifact.
+	var art Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: %s: %v", path, err)
+	}
+	s := art.Schedule
+	if s.Config.Protocol == "" {
+		var bare Schedule
+		if err := json.Unmarshal(raw, &bare); err != nil {
+			return Schedule{}, fmt.Errorf("chaos: %s: %v", path, err)
+		}
+		s = bare
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: %s: %v", path, err)
+	}
+	return s, nil
+}

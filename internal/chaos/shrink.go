@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"bftkit/internal/core"
+	"bftkit/internal/types"
+)
+
+// DefaultShrinkBudget bounds the number of candidate runs one shrink
+// may spend. Each run is a full simulated deployment, so the budget is
+// the shrinker's real cost model.
+const DefaultShrinkBudget = 200
+
+// Shrink minimizes a failing schedule to a smaller one that violates at
+// least one of the same invariants. It alternates greedy delta-debugging
+// over the event timeline (drop chunks, coarse to fine) with config
+// reductions (drop the byz assignment, fewer clients and requests,
+// minimum cluster size, a benign network, halved timings) until a fixed
+// point or the run budget is exhausted. Returns the smallest failing
+// report found (the input if nothing smaller fails) and the number of
+// candidate runs spent.
+func Shrink(rep *Report, budget int) (*Report, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	want := rep.InvariantSet()
+	best := rep
+	runs := 0
+
+	// try runs a candidate and accepts it if it fails the same way.
+	try := func(cand Schedule) *Report {
+		if runs >= budget {
+			return nil
+		}
+		if err := cand.Validate(); err != nil {
+			return nil
+		}
+		runs++
+		r := Run(cand)
+		if !r.Failed() {
+			return nil
+		}
+		for inv := range r.InvariantSet() {
+			if want[inv] {
+				return r
+			}
+		}
+		return nil
+	}
+
+	improved := true
+	for improved && runs < budget {
+		improved = false
+
+		// Event minimization: remove chunks, halving granularity.
+		for chunk := len(best.Schedule.Events); chunk >= 1; chunk /= 2 {
+			i := 0
+			for i < len(best.Schedule.Events) {
+				cand := cloneSchedule(best.Schedule)
+				end := i + chunk
+				if end > len(cand.Events) {
+					end = len(cand.Events)
+				}
+				cand.Events = append(cand.Events[:i:i], cand.Events[end:]...)
+				if r := try(cand); r != nil {
+					best = r
+					improved = true
+					// Same index now holds the next chunk; retry there.
+				} else {
+					i += chunk
+				}
+			}
+		}
+
+		for _, mut := range configMutations {
+			cand, ok := mut(best.Schedule)
+			if !ok {
+				continue
+			}
+			if r := try(cand); r != nil {
+				best = r
+				improved = true
+			}
+		}
+	}
+	return best, runs
+}
+
+// configMutations are the non-event reductions, each returning a
+// candidate and whether it differs from the input. Order is roughly
+// most-simplifying first; the fixpoint loop reapplies them anyway.
+var configMutations = []func(Schedule) (Schedule, bool){
+	// Drop the Byzantine assignment entirely.
+	func(s Schedule) (Schedule, bool) {
+		if len(s.Config.Byz) == 0 {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		c.Config.Byz = nil
+		return c, true
+	},
+	// One client (client-churn events on other clients are dropped).
+	func(s Schedule) (Schedule, bool) {
+		if s.Config.Clients <= 1 {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		c.Config.Clients = 1
+		c.Events = filterEvents(c.Events, func(ev Event) bool {
+			switch ev.Kind {
+			case EvClientPause, EvClientResume:
+				return int(ev.Node) == 0
+			}
+			return true
+		})
+		return c, true
+	},
+	// Halve the per-client request count.
+	func(s Schedule) (Schedule, bool) {
+		if s.Config.Requests <= 1 {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		c.Config.Requests /= 2
+		return c, true
+	},
+	// Minimum cluster size for the protocol; events and byz
+	// assignments referencing removed replicas are dropped or clamped.
+	func(s Schedule) (Schedule, bool) {
+		reg, ok := core.Lookup(s.Config.Protocol)
+		if !ok {
+			return s, false
+		}
+		min := reg.Profile.MinReplicas(s.Config.F)
+		if s.Config.N <= min {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		c.Config.N = min
+		for i := range c.Config.Byz {
+			if int(c.Config.Byz[i].Node) >= min {
+				c.Config.Byz[i].Node = types.NodeID(min - 1)
+			}
+		}
+		for i := range c.Events {
+			if c.Events[i].Kind != EvPartition {
+				continue
+			}
+			var g []types.NodeID
+			for _, id := range c.Events[i].Group {
+				if int(id) < min {
+					g = append(g, id)
+				}
+			}
+			c.Events[i].Group = g
+		}
+		c.Events = filterEvents(c.Events, func(ev Event) bool {
+			switch ev.Kind {
+			case EvCrash, EvRestart, EvDelaySpike, EvDelayClear:
+				return int(ev.Node) < min
+			case EvPartition:
+				// A trimmed-away group would fail validation; drop the
+				// event (its heal stays, harmlessly idempotent).
+				return len(ev.Group) > 0 && len(ev.Group) < min
+			}
+			return true
+		})
+		return c, true
+	},
+	// Benign network: no jitter, loss, duplication, or pre-GST window.
+	func(s Schedule) (Schedule, bool) {
+		net := &s.Config.Net
+		if net.Jitter == 0 && net.DropRate == 0 && net.GST == 0 {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		c.Config.Net.Jitter = 0
+		c.Config.Net.DropRate = 0
+		c.Config.Net.GST = 0
+		c.Config.Net.PreGSTMaxDelay = 0
+		c.Config.Net.PreGSTDropRate = 0
+		return c, true
+	},
+	// Drop duplication on its own (it is load-bearing for delivery-path
+	// bugs, so the combined mutation above leaves it alone).
+	func(s Schedule) (Schedule, bool) {
+		if s.Config.Net.DuplicateRate == 0 {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		c.Config.Net.DuplicateRate = 0
+		return c, true
+	},
+	// Halve every event time and duration, compressing the timeline.
+	func(s Schedule) (Schedule, bool) {
+		if len(s.Events) == 0 {
+			return s, false
+		}
+		c := cloneSchedule(s)
+		for i := range c.Events {
+			c.Events[i].At /= 2
+			c.Events[i].Dur /= 2
+		}
+		return c, true
+	},
+}
+
+func cloneSchedule(s Schedule) Schedule {
+	c := s
+	c.Events = append([]Event(nil), s.Events...)
+	c.Config.Byz = append([]ByzAssignment(nil), s.Config.Byz...)
+	return c
+}
+
+func filterEvents(evs []Event, keep func(Event) bool) []Event {
+	out := evs[:0:0]
+	for _, ev := range evs {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

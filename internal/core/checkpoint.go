@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"bftkit/internal/ledger"
 	"bftkit/internal/types"
 )
@@ -28,6 +30,14 @@ type CheckpointManager struct {
 	// StableCount counts checkpoints this replica has stabilized
 	// (experiment X13 reads it).
 	StableCount int
+
+	// Fastforwarded, when set, is called after state transfer jumps the
+	// ledger past slots this replica never saw (no OnExecuted fires for
+	// them). Protocols whose progress variable is derived from executed
+	// slots — tendermint's height — resync it here; without this a
+	// caught-up replica keeps its stale height and becomes a proposer
+	// that never proposes.
+	Fastforwarded func(seq types.SeqNum)
 }
 
 // NewCheckpointManager returns a manager bound to env.
@@ -112,6 +122,10 @@ func (cm *CheckpointManager) maybeStabilize(seq types.SeqNum) {
 		if len(voters) < quorum {
 			continue
 		}
+		// Voter lists come out of a map; order them so downstream
+		// choices (fetch target, recorded voter set) don't depend on
+		// map iteration order — replays must be bit-identical.
+		sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
 		led := cm.env.Ledger()
 		if seq <= led.LowWater() {
 			return
@@ -196,6 +210,9 @@ func (cm *CheckpointManager) onState(from types.NodeID, m *StateMsg) {
 	cm.StableCount++
 	delete(cm.expected, m.Seq)
 	cm.env.Logf("state transfer: fast-forwarded to seq %d", m.Seq)
+	if cm.Fastforwarded != nil {
+		cm.Fastforwarded(m.Seq)
+	}
 	// Replay the retained suffix the sender shipped along.
 	for _, e := range m.Entries {
 		cm.env.Commit(e.View, e.Seq, e.Batch, e.Proof)

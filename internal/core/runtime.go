@@ -74,11 +74,12 @@ type Replica struct {
 	verifier *crypto.Verifier
 	hooks    Hooks
 
-	timers   map[TimerID]func()
-	spec     []specEntry
-	history  types.Digest
-	executed map[types.RequestKey]bool
-	stopped  bool
+	timers    map[TimerID]func()
+	spec      []specEntry
+	history   types.Digest
+	executed  map[types.RequestKey]bool
+	lastReply map[types.NodeID]*types.Reply
+	stopped   bool
 }
 
 // NewReplica wires a protocol instance to its substrate. Call Start to
@@ -86,17 +87,18 @@ type Replica struct {
 func NewReplica(id types.NodeID, cfg Config, driver Driver, proto Protocol,
 	app Application, auth *crypto.Authority, hooks Hooks) *Replica {
 	return &Replica{
-		id:       id,
-		cfg:      cfg,
-		driver:   driver,
-		proto:    proto,
-		app:      app,
-		led:      ledger.New(),
-		signer:   auth.Signer(id),
-		verifier: auth.VerifierFor(id),
-		hooks:    hooks,
-		timers:   make(map[TimerID]func()),
-		executed: make(map[types.RequestKey]bool),
+		id:        id,
+		cfg:       cfg,
+		driver:    driver,
+		proto:     proto,
+		app:       app,
+		led:       ledger.New(),
+		signer:    auth.Signer(id),
+		verifier:  auth.VerifierFor(id),
+		hooks:     hooks,
+		timers:    make(map[TimerID]func()),
+		executed:  make(map[types.RequestKey]bool),
+		lastReply: make(map[types.NodeID]*types.Reply),
 	}
 }
 
@@ -126,6 +128,17 @@ func (r *Replica) Deliver(from types.NodeID, m types.Message) {
 	}
 	switch mm := m.(type) {
 	case *RequestMsg:
+		// At-most-once retransmission handling for every protocol: if
+		// this replica already replied to exactly this request, resend
+		// the cached signed reply. A client whose f+1 matching replies
+		// were all lost (a partition or crash window) retransmits, and
+		// protocols drop already-executed requests from admission — so
+		// without the resend the client would starve forever on a
+		// request the cluster long since committed.
+		if last := r.lastReply[mm.Req.Client]; last != nil && last.ClientSeq == mm.Req.ClientSeq {
+			r.Send(last.Client, &ReplyMsg{R: last})
+			return
+		}
 		r.proto.OnRequest(mm.Req)
 	default:
 		r.proto.OnMessage(from, m)
@@ -379,6 +392,14 @@ func (r *Replica) HistoryDigest() types.Digest { return r.history }
 func (r *Replica) Reply(rp *types.Reply) {
 	rp.Replica = r.id
 	rp.Sig = r.signer.Sign(rp.Digest())
+	// Cache only replies whose slot is committed-executed. Speculative
+	// replies (DC7/DC8 fast paths) may be rolled back, and serving one
+	// from the cache would both resend a retracted result and hide the
+	// retransmission from the protocol's re-ordering path.
+	if rp.Seq <= r.led.LastExecuted() {
+		cp := *rp
+		r.lastReply[rp.Client] = &cp
+	}
 	r.Send(rp.Client, &ReplyMsg{R: rp})
 }
 

@@ -35,6 +35,14 @@ func clusterFor(t *testing.T, proto string, clients int) *harness.Cluster {
 	return harness.NewCluster(opts)
 }
 
+// failf fails the test with the cluster's one-line reproduction command
+// appended, so a red CI log can be replayed locally without
+// reverse-engineering the harness options from the test body.
+func failf(t *testing.T, c *harness.Cluster, format string, args ...any) {
+	t.Helper()
+	t.Fatalf(format+"\n  reproduce: %s", append(args, c.Repro())...)
+}
+
 // TestEveryProtocolFaultFree is the cross-cutting smoke test: every
 // registered protocol must complete a workload and pass the safety audit
 // on the same harness, with no per-protocol special-casing beyond sizing.
@@ -53,10 +61,10 @@ func TestEveryProtocolFaultFree(t *testing.T) {
 				c.RunUntilIdle(300 * time.Second)
 			}
 			if got, want := c.Metrics.Completed, 20; got != want {
-				t.Fatalf("completed %d, want %d", got, want)
+				failf(t, c, "completed %d, want %d", got, want)
 			}
 			if err := c.Audit(); err != nil {
-				t.Fatal(err)
+				failf(t, c, "%v", err)
 			}
 		})
 	}
@@ -88,10 +96,10 @@ func TestConcurrentClientSubmissions(t *testing.T) {
 				c.RunUntilIdle(300 * time.Second)
 			}
 			if got, want := c.Metrics.Completed, 3; got != want {
-				t.Fatalf("completed %d of 3 concurrent submissions", got)
+				failf(t, c, "completed %d of %d concurrent submissions", got, want)
 			}
 			if err := c.Audit(); err != nil {
-				t.Fatal(err)
+				failf(t, c, "%v", err)
 			}
 		})
 	}
@@ -230,10 +238,10 @@ func TestEveryProtocolPreGSTChaos(t *testing.T) {
 				c.RunUntilIdle(300 * time.Second)
 			}
 			if got, want := c.Metrics.Completed, 16; got != want {
-				t.Fatalf("completed %d of %d across GST", got, want)
+				failf(t, c, "completed %d of %d across GST", got, want)
 			}
 			if err := c.Audit(); err != nil {
-				t.Fatal(err)
+				failf(t, c, "%v", err)
 			}
 		})
 	}
@@ -271,12 +279,12 @@ func TestEveryProtocolSafetyUnderPermanentLoss(t *testing.T) {
 				c.RunUntilIdle(120 * time.Second)
 			}
 			if err := c.Audit(); err != nil {
-				t.Fatal(err)
+				failf(t, c, "%v", err)
 			}
 			// All honest replicas that executed anything agree; also
 			// demand nonzero progress so the test cannot pass vacuously.
 			if c.Metrics.Completed == 0 {
-				t.Fatal("no progress at all under 10% loss")
+				failf(t, c, "no progress at all under 10%% loss")
 			}
 		})
 	}
@@ -301,10 +309,10 @@ func TestSafetyUnderRandomSeeds(t *testing.T) {
 			c.Crash(crash)
 			c.RunUntilIdle(300 * time.Second)
 			if err := c.Audit(crash); err != nil {
-				t.Fatal(err)
+				failf(t, c, "%v", err)
 			}
 			if c.Metrics.Completed != 30 {
-				t.Fatalf("seed %d: completed %d/30", seed, c.Metrics.Completed)
+				failf(t, c, "seed %d: completed %d/30", seed, c.Metrics.Completed)
 			}
 		})
 	}
@@ -352,13 +360,13 @@ func TestClientStuffingDefense(t *testing.T) {
 		}
 	})
 	if corrupted != 0 {
-		t.Fatalf("clients accepted %d corrupted results", corrupted)
+		failf(t, c, "clients accepted %d corrupted results", corrupted)
 	}
 	if r.Completed != 30 {
-		t.Fatalf("completed %d of 30 with a result-stuffing replica", r.Completed)
+		failf(t, c, "completed %d of 30 with a result-stuffing replica", r.Completed)
 	}
 	if err := c.Audit(); err != nil {
-		t.Fatal(err)
+		failf(t, c, "%v", err)
 	}
 }
 
@@ -371,7 +379,7 @@ func TestX16FallbackShapes(t *testing.T) {
 		c, r := x16Run(proto, b, node, nil)
 		kinds, _ := c.Net.KindCounts()
 		if err := c.Audit(); err != nil {
-			t.Fatalf("%s: %v", proto, err)
+			failf(t, c, "%s: %v", proto, err)
 		}
 		return kinds, r, c
 	}
@@ -477,10 +485,10 @@ func TestByzantineGauntlet(t *testing.T) {
 					c.Run(time.Second)
 				}
 				if got, want := c.Metrics.Completed, 10; got != want {
-					t.Fatalf("completed %d of %d with a %s replica", got, want, bhv.name)
+					failf(t, c, "completed %d of %d with a %s replica", got, want, bhv.name)
 				}
 				if err := c.Audit(); err != nil {
-					t.Fatalf("safety violated under %s: %v", bhv.name, err)
+					failf(t, c, "safety violated under %s: %v", bhv.name, err)
 				}
 			})
 		}

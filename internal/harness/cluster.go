@@ -9,6 +9,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"bftkit/internal/byz"
@@ -53,6 +54,21 @@ type Options struct {
 	// send/delivery with wire bytes, every crypto op attributed to the
 	// node performing it, and commit/execute/view-change/timer events.
 	Trace *obsv.Tracer
+	// Observers receive the same runtime events Metrics records, after
+	// Metrics has. Continuous checkers (the chaos invariant oracle) hook
+	// in here rather than monkey-patching hooks.
+	Observers []Observer
+}
+
+// Observer watches a running cluster's protocol-level events. All
+// callbacks fire on the simulator's single thread, after the built-in
+// metrics collector has recorded the same event.
+type Observer interface {
+	OnCommit(id types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, proof *types.CommitProof, at time.Duration)
+	OnExecute(id types.NodeID, seq types.SeqNum, b *types.Batch, results [][]byte, at time.Duration)
+	OnViewChange(id types.NodeID, v types.View, at time.Duration)
+	OnViolation(id types.NodeID, err error)
+	OnDone(client types.NodeID, req *types.Request, result []byte, at time.Duration)
 }
 
 // Cluster is a running simulated deployment.
@@ -172,6 +188,32 @@ func NewCluster(opts Options) *Cluster {
 		Logf:         opts.Verbose,
 		Trace:        opts.Trace,
 	}
+	if obs := opts.Observers; len(obs) > 0 {
+		hooks.OnCommit = func(id types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, proof *types.CommitProof, at time.Duration) {
+			c.Metrics.onCommit(id, v, seq, b, proof, at)
+			for _, o := range obs {
+				o.OnCommit(id, v, seq, b, proof, at)
+			}
+		}
+		hooks.OnExecute = func(id types.NodeID, seq types.SeqNum, b *types.Batch, results [][]byte, at time.Duration) {
+			c.Metrics.onExecute(id, seq, b, results, at)
+			for _, o := range obs {
+				o.OnExecute(id, seq, b, results, at)
+			}
+		}
+		hooks.OnViewChange = func(id types.NodeID, v types.View, at time.Duration) {
+			c.Metrics.onViewChange(id, v, at)
+			for _, o := range obs {
+				o.OnViewChange(id, v, at)
+			}
+		}
+		hooks.OnViolation = func(id types.NodeID, err error) {
+			c.Metrics.onViolation(id, err)
+			for _, o := range obs {
+				o.OnViolation(id, err)
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		id := types.NodeID(i)
 		app := kvstore.New()
@@ -193,6 +235,9 @@ func NewCluster(opts Options) *Cluster {
 	chooks := core.ClientHooks{
 		OnDone: func(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
 			c.Metrics.onDone(id, req, result, at)
+			for _, o := range opts.Observers {
+				o.OnDone(id, req, result, at)
+			}
 			if c.DoneHook != nil {
 				c.DoneHook(id, req, result, at)
 			}
@@ -245,6 +290,41 @@ func (c *Cluster) RunUntilIdle(cap time.Duration) { c.Sched.RunUntilIdle(cap) }
 func (c *Cluster) Crash(id types.NodeID) {
 	c.Net.Crash(id)
 	c.Replicas[id].Stop()
+}
+
+// CrashNet silences a replica at the network level only: its timers keep
+// running but nothing it sends reaches the wire and nothing is delivered
+// to it. Paired with Restart it models a crash/recovery in which the
+// replica's durable state (in-memory, on the simulator) survives.
+func (c *Cluster) CrashNet(id types.NodeID) { c.Net.Crash(id) }
+
+// Restart re-attaches a network-crashed replica.
+func (c *Cluster) Restart(id types.NodeID) { c.Net.Restart(id) }
+
+// Repro returns the one-line reproduction for this deployment: enough to
+// replay the exact deterministic run from the CLI or a test. Failure
+// messages should include it so a red CI line is replayable without
+// spelunking through harness defaults.
+func (c *Cluster) Repro() string {
+	if len(c.Opts.Byzantine) > 0 {
+		ids := make([]types.NodeID, 0, len(c.Opts.Byzantine))
+		for id := range c.Opts.Byzantine {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var nodes, spec string
+		for i, id := range ids {
+			if i > 0 {
+				nodes += ","
+			}
+			nodes += fmt.Sprint(int(id))
+			spec = byz.Spec(c.Opts.Byzantine[id])
+		}
+		return fmt.Sprintf("go run ./cmd/bftbench -protocol %s -byz %s -byz-nodes %s -seed %d",
+			c.Opts.Protocol, spec, nodes, c.Opts.Seed)
+	}
+	return fmt.Sprintf("harness run: protocol=%s n=%d f=%d clients=%d seed=%d (deterministic simulator)",
+		c.Opts.Protocol, c.Cfg.N, c.Cfg.F, len(c.Clients), c.Opts.Seed)
 }
 
 // Audit verifies the safety invariants across all currently honest

@@ -38,6 +38,8 @@ var phaseByKind = map[string]string{
 	"PREVOTE":        "prevote",
 	"PRECOMMIT":      "precommit",
 	"FETCH-PROPOSAL": PhaseRecovery,
+	"FETCH-DECISION": PhaseRecovery,
+	"DECISION":       PhaseRecovery,
 
 	// hotstuff
 	"HS-PROPOSAL": "propose",

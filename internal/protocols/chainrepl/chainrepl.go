@@ -141,7 +141,8 @@ type Chain struct {
 	pendingSet    map[types.RequestKey]bool
 	inFlight      map[types.RequestKey]bool
 	watch         map[types.RequestKey]bool
-	done      map[types.RequestKey]bool
+	done          map[types.RequestKey]bool
+	replies       map[types.RequestKey]*types.Reply
 	progressArmed bool
 
 	reconfigVotes map[types.View]map[types.NodeID]bool
@@ -169,6 +170,7 @@ func (c *Chain) Init(env core.Env) {
 	c.inFlight = make(map[types.RequestKey]bool)
 	c.watch = make(map[types.RequestKey]bool)
 	c.done = make(map[types.RequestKey]bool)
+	c.replies = make(map[types.RequestKey]*types.Reply)
 	c.reconfigVotes = make(map[types.View]map[types.NodeID]bool)
 	c.reconfigExec = make(map[types.View]types.SeqNum)
 }
@@ -226,6 +228,14 @@ func (c *Chain) successor(id types.NodeID) types.NodeID {
 // forwards to the head.
 func (c *Chain) OnRequest(req *types.Request) {
 	if c.done[req.Key()] {
+		// Retransmission of an executed request: replicas that were not
+		// in the reply suffix when it executed have nothing in the
+		// runtime's reply cache, so answer from the protocol's own.
+		// This matters after a reconfiguration moved the suffix — the
+		// new suffix must be able to satisfy the client's f+1 quorum.
+		if rep := c.replies[req.Key()]; rep != nil && c.inReplySuffix() {
+			c.env.Reply(rep)
+		}
 		return
 	}
 	if !c.env.Verifier().VerifySig(req.Client, req.Digest(), req.Sig) {
@@ -291,6 +301,19 @@ func (c *Chain) processChainMsg(m *ChainMsg) {
 	if m.Batch.Digest() != m.Digest {
 		return
 	}
+	// A slot this replica already committed must not be endorsed again.
+	// After a reconfiguration whose f+1 quorum missed the one member that
+	// saw the old tail's commit notice, the new head re-numbers from a
+	// stale execution point and re-proposes an already-taken sequence;
+	// endorsing it would fork the chain. Push the committed entries back
+	// instead so the laggards repair and the next reconfiguration rebases
+	// above them.
+	if ent := c.env.Ledger().Get(m.Seq); ent != nil {
+		if ent.Batch.Digest() != m.Digest {
+			c.shareCommitted(ent.Seq - 1)
+		}
+		return
+	}
 	sd := slotDigest(m.View, m.Seq, m.Digest)
 	m.Hops = append(m.Hops, Hop{Replica: c.env.ID(), Sig: c.env.Signer().Sign(sd)})
 	for _, r := range m.Batch.Requests {
@@ -310,9 +333,33 @@ func (c *Chain) processChainMsg(m *ChainMsg) {
 }
 
 func (c *Chain) adoptCommit(m *CommitNoticeMsg) {
+	if ent := c.env.Ledger().Get(m.Seq); ent != nil {
+		if ent.Batch.Digest() != m.Digest {
+			c.shareCommitted(m.Seq - 1)
+		}
+		return
+	}
 	proof := &types.CommitProof{View: m.View, Seq: m.Seq, Digest: m.Digest,
 		Special: "chain-tail-notice", Voters: []types.NodeID{m.Tail}}
 	c.env.Commit(m.View, m.Seq, m.Batch, proof)
+}
+
+// shareCommitted broadcasts this replica's committed entries above from:
+// the repair path for peers whose reconfiguration rebased below a slot
+// this replica knows to be committed.
+func (c *Chain) shareCommitted(from types.SeqNum) {
+	if lw := c.env.Ledger().LowWater(); from < lw {
+		from = lw
+	}
+	entries := c.env.Ledger().CommittedAbove(from)
+	if len(entries) == 0 {
+		return
+	}
+	resp := &ChainEntriesMsg{}
+	for _, e := range entries {
+		resp.Entries = append(resp.Entries, ChainEntry{View: e.View, Seq: e.Seq, Batch: e.Batch})
+	}
+	c.env.Broadcast(resp)
 }
 
 // OnMessage implements core.Protocol.
@@ -355,8 +402,14 @@ func (c *Chain) OnMessage(from types.NodeID, m types.Message) {
 	case *ChainEntriesMsg:
 		// Adopted under the chain's honest-member assumption (a2); a
 		// Byzantine peer would force the switch to a full BFT protocol
-		// anyway (the Abstract fallback, out of scope here).
+		// anyway (the Abstract fallback, out of scope here). Entries
+		// conflicting with slots already committed here are skipped — the
+		// cross-replica audit, not a ledger overwrite, is where such a
+		// fork surfaces.
 		for _, e := range mm.Entries {
+			if ent := c.env.Ledger().Get(e.Seq); ent != nil {
+				continue
+			}
 			proof := &types.CommitProof{View: e.View, Seq: e.Seq, Digest: e.Batch.Digest(),
 				Special: "chain-catchup"}
 			c.env.Commit(e.View, e.Seq, e.Batch, proof)
@@ -427,22 +480,44 @@ func (c *Chain) onReconfig(m *ReconfigMsg) {
 // client drives fault detection, P6's repairer role).
 func (c *Chain) OnTimer(id core.TimerID) {}
 
-// OnExecuted implements core.Protocol: the tail replies (single reply;
-// its commit notice is the proof under the chain's trust assumptions).
+// inReplySuffix reports whether this replica is one of the last f+1
+// members of the current chain — the segment whose replies the client
+// cross-checks (Aliph: each suffix member authenticates the result, so
+// f+1 matching replies pin it to at least one honest replica).
+func (c *Chain) inReplySuffix() bool {
+	chain := c.ChainFor(c.view)
+	suffix := c.env.Config().F + 1
+	for i, id := range chain {
+		if id == c.env.ID() {
+			return i >= len(chain)-suffix
+		}
+	}
+	return false
+}
+
+// OnExecuted implements core.Protocol: the last f+1 chain members each
+// reply, and the client accepts a result only on f+1 signed matches. A
+// single-tail reply would let one corrupt tail hand clients wrong
+// results with no honest replica in the loop (P6).
 func (c *Chain) OnExecuted(seq types.SeqNum, batch *types.Batch, results [][]byte) {
 	for i, req := range batch.Requests {
 		delete(c.watch, req.Key())
 		delete(c.pendingSet, req.Key())
 		delete(c.inFlight, req.Key())
 		c.done[req.Key()] = true
-		if c.Tail() == c.env.ID() {
-			c.env.Reply(&types.Reply{
-				Client:    req.Client,
-				ClientSeq: req.ClientSeq,
-				View:      c.view,
-				Seq:       seq,
-				Result:    results[i],
-			})
+		rep := &types.Reply{
+			Client:    req.Client,
+			ClientSeq: req.ClientSeq,
+			View:      c.view,
+			Seq:       seq,
+			Result:    results[i],
+		}
+		// Cache on every replica, not just the current suffix: a later
+		// reconfiguration may rotate this replica into the suffix and a
+		// retransmitting client will need its vote.
+		c.replies[req.Key()] = rep
+		if c.inReplySuffix() {
+			c.env.Reply(rep)
 		}
 	}
 	if c.nextSeq < seq {
@@ -451,18 +526,24 @@ func (c *Chain) OnExecuted(seq types.SeqNum, batch *types.Batch, results [][]byt
 	c.maybePropose()
 }
 
-// Client is the chain client: send to the head, accept the tail's single
-// reply, panic on timeout (repairer role).
+// Client is the chain client: send to the head, accept a result once
+// f+1 distinct chain members have signed it (the reply suffix), panic on
+// timeout (repairer role).
 type Client struct {
 	env      core.ClientEnv
 	view     types.View
 	pending  map[uint64]*types.Request
+	votes    map[uint64]map[string]map[types.NodeID]bool
 	panicked map[uint64]int
 }
 
 // NewClient returns a chain client.
 func NewClient() *Client {
-	return &Client{pending: make(map[uint64]*types.Request), panicked: make(map[uint64]int)}
+	return &Client{
+		pending:  make(map[uint64]*types.Request),
+		votes:    make(map[uint64]map[string]map[types.NodeID]bool),
+		panicked: make(map[uint64]int),
+	}
 }
 
 // Init implements core.ClientProtocol.
@@ -502,8 +583,26 @@ func (c *Client) OnMessage(from types.NodeID, m types.Message) {
 	if rep.View > c.view {
 		c.view = rep.View
 	}
+	// One corrupt suffix member (the tail included) must not be able to
+	// pass off a wrong result, so count signed matching replies until
+	// f+1 distinct replicas agree.
+	byResult := c.votes[rep.ClientSeq]
+	if byResult == nil {
+		byResult = make(map[string]map[types.NodeID]bool)
+		c.votes[rep.ClientSeq] = byResult
+	}
+	set := byResult[string(rep.Result)]
+	if set == nil {
+		set = make(map[types.NodeID]bool)
+		byResult[string(rep.Result)] = set
+	}
+	set[rep.Replica] = true
+	if len(set) < c.env.F()+1 {
+		return
+	}
 	c.env.StopTimer(core.TimerID{Name: "chain-wait", Seq: types.SeqNum(rep.ClientSeq)})
 	delete(c.pending, rep.ClientSeq)
+	delete(c.votes, rep.ClientSeq)
 	delete(c.panicked, rep.ClientSeq)
 	c.env.Done(req, rep.Result)
 }

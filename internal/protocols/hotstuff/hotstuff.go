@@ -700,15 +700,40 @@ func (hs *HotStuff) onTimeout(m *TimeoutMsg) {
 		hs.timeouts[m.View] = set
 	}
 	set[m.Replica] = m
-	if len(set) >= hs.env.Config().Quorum() {
-		delete(hs.timeouts, m.View)
-		// Leader reputation: the leader of the timed-out view is
-		// skipped by the rotation for a while.
-		if lead := hs.leaderOf(m.View); true {
-			if prev, ok := hs.demoted[lead]; !ok || m.View > prev {
-				hs.demoted[lead] = m.View
+	if len(set) < hs.env.Config().Quorum() && m.View > hs.view {
+		// View synchronization: timeouts from f+1 distinct replicas for
+		// views beyond ours prove at least one honest replica has moved
+		// on. Without jumping, pacemakers scattered across views by
+		// pre-GST loss deadlock — each straggler rebroadcasts a timeout
+		// for its own view, which the replicas ahead discard, so no view
+		// ever collects a same-view quorum. Jump to the lowest such view
+		// and add our own timeout so a full quorum can form there.
+		ahead := make(map[types.NodeID]bool)
+		lowest := types.View(0)
+		for v, s := range hs.timeouts {
+			if v <= hs.view {
+				continue
+			}
+			for id := range s {
+				ahead[id] = true
+			}
+			if lowest == 0 || v < lowest {
+				lowest = v
 			}
 		}
+		if len(ahead) > hs.env.Config().F {
+			hs.view = lowest
+			hs.env.ViewChanged(hs.view)
+			hs.armViewTimer()
+			tm := &TimeoutMsg{View: hs.view, HighQC: hs.highQC, Replica: hs.env.ID()}
+			tm.Sig = hs.env.Signer().Sign(tm.SigDigest())
+			hs.env.Broadcast(tm)
+			hs.onTimeout(tm) // our own timeout may complete the quorum
+			return
+		}
+	}
+	if len(set) >= hs.env.Config().Quorum() {
+		delete(hs.timeouts, m.View)
 		next := m.View + 1
 		if next > hs.view {
 			hs.view = next
@@ -748,6 +773,22 @@ func (hs *HotStuff) OnTimer(id core.TimerID) {
 		hs.pruneMempool()
 		if len(hs.mempool) == 0 && !hs.uncommittedWork() {
 			return // idle: no work, nothing stuck
+		}
+		// Leader reputation: demote the node this replica can blame for
+		// the stall. If a proposal arrived and was voted for, the view
+		// died at its vote collector — the next view's leader swallowed
+		// the QC — so the collector is demoted. If no proposal ever
+		// arrived, the view's own leader is demoted. Blaming the
+		// collector matters with a vote-withholding Byzantine replica:
+		// its led views look healthy (it proposes from the QCs it
+		// collects), so timed-out-view blame lands on the honest leaders
+		// it starves, concentrating leadership on the attacker.
+		blame := hs.leaderOf(id.View)
+		if hs.voted[id.View] {
+			blame = hs.leaderOf(id.View + 1)
+		}
+		if prev, ok := hs.demoted[blame]; !ok || id.View > prev {
+			hs.demoted[blame] = id.View
 		}
 		tm := &TimeoutMsg{View: hs.view, HighQC: hs.highQC, Replica: hs.env.ID()}
 		tm.Sig = hs.env.Signer().Sign(tm.SigDigest())

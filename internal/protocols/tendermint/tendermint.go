@@ -13,6 +13,7 @@
 package tendermint
 
 import (
+	"sort"
 	"time"
 
 	"bftkit/internal/core"
@@ -32,6 +33,7 @@ const (
 	timerPrecommit = "precommit"  // τ4: waiting for 2f+1 precommits
 	timerNewHeight = "new-height" // τ5: the Δ wait (DC4)
 	timerBatch     = "batch"
+	timerCatchup   = "catchup" // re-fetch window for decision transfer
 )
 
 // ProposalMsg carries the proposer's batch for (height, round).
@@ -84,19 +86,58 @@ type FetchProposalMsg struct {
 // Kind implements types.Message.
 func (*FetchProposalMsg) Kind() string { return "FETCH-PROPOSAL" }
 
+// FetchDecisionMsg asks peers for the decisions of every height above
+// From. Votes are sent once and never retransmitted, so a replica whose
+// precommit quorum was lost to the pre-GST network can be stranded at an
+// old height while the rest of the cluster moves on — and with fewer
+// than 2f+1 replicas left at that height, no quorum can ever re-form
+// there. Height catch-up is therefore a liveness requirement, not an
+// optimization.
+type FetchDecisionMsg struct {
+	From types.SeqNum
+}
+
+// Kind implements types.Message.
+func (*FetchDecisionMsg) Kind() string { return "FETCH-DECISION" }
+
+// DecisionMsg transfers one decided height: the batch plus the 2f+1
+// precommit signatures that decided it. The receiver re-verifies every
+// signature, so a Byzantine sender cannot forge a decision.
+type DecisionMsg struct {
+	Height types.SeqNum
+	Round  uint32
+	Batch  *types.Batch
+	Voters []types.NodeID
+	Sigs   [][]byte
+}
+
+// Kind implements types.Message.
+func (*DecisionMsg) Kind() string { return "DECISION" }
+
 type hrKey struct {
 	H types.SeqNum
 	R uint32
 }
 
 type roundState struct {
-	batch      *types.Batch
-	digest     types.Digest
-	hasProp    bool
-	prevotes   map[types.Digest]map[types.NodeID]bool
-	precommits map[types.Digest]map[types.NodeID]bool
+	batch    *types.Batch
+	digest   types.Digest
+	hasProp  bool
+	prevotes map[types.Digest]map[types.NodeID]bool
+	// precommits keep the vote signatures, not just membership: the
+	// 2f+1 precommits for the decided digest double as the transferable
+	// decision certificate for height catch-up.
+	precommits map[types.Digest]map[types.NodeID][]byte
 	sentPV     bool
 	sentPC     bool
+}
+
+// decision retains one decided height's certificate so laggards can be
+// caught up; pruned at the checkpoint low-water mark.
+type decision struct {
+	round uint32
+	batch *types.Batch
+	sigs  map[types.NodeID][]byte
 }
 
 // Options tunes a Tendermint instance, including attack injection.
@@ -126,14 +167,24 @@ type Tendermint struct {
 	// in at the current height; f+1 peers ahead of us trigger the round
 	// catch-up jump (Tendermint's round synchronization).
 	peerRound map[types.NodeID]uint32
+	// peerHeight tracks the highest height each peer has shown activity
+	// in; f+1 peers above ours mean the cluster decided heights we
+	// missed, triggering decision catch-up.
+	peerHeight map[types.NodeID]types.SeqNum
+	// decisions retains decided heights' certificates for catch-up.
+	decisions map[types.SeqNum]*decision
+	// fetchingFrom is the height the last decision fetch started from;
+	// re-fetching is gated on either progress or the catch-up timer.
+	fetchingFrom types.SeqNum
+	fetching     bool
 
 	lockedDigest types.Digest
 	lockedBatch  *types.Batch
 	locked       bool
 
-	mempool  []*types.Request
-	memSet   map[types.RequestKey]bool
-	done map[types.RequestKey]bool
+	mempool []*types.Request
+	memSet  map[types.RequestKey]bool
+	done    map[types.RequestKey]bool
 
 	// sawQuorumPrev records that this replica observed the full
 	// precommit quorum for the previous height (the DC4 optimization).
@@ -167,8 +218,15 @@ func init() {
 func (t *Tendermint) Init(env core.Env) {
 	t.env = env
 	t.cm = core.NewCheckpointManager(env)
+	t.cm.Fastforwarded = func(seq types.SeqNum) {
+		if seq >= t.height {
+			t.enterHeight(seq + 1)
+		}
+	}
 	t.states = make(map[hrKey]*roundState)
 	t.peerRound = make(map[types.NodeID]uint32)
+	t.peerHeight = make(map[types.NodeID]types.SeqNum)
+	t.decisions = make(map[types.SeqNum]*decision)
 	t.memSet = make(map[types.RequestKey]bool)
 	t.done = make(map[types.RequestKey]bool)
 	t.height = 1
@@ -191,7 +249,7 @@ func (t *Tendermint) state(h types.SeqNum, r uint32) *roundState {
 	if st == nil {
 		st = &roundState{
 			prevotes:   make(map[types.Digest]map[types.NodeID]bool),
-			precommits: make(map[types.Digest]map[types.NodeID]bool),
+			precommits: make(map[types.Digest]map[types.NodeID][]byte),
 		}
 		t.states[k] = st
 	}
@@ -369,6 +427,7 @@ func (t *Tendermint) OnMessage(from types.NodeID, m types.Message) {
 		if !t.env.Verifier().VerifySig(from, mm.SigDigest(), mm.Sig) {
 			return
 		}
+		t.noteHeight(from, mm.Height)
 		t.noteRound(from, mm.Height, mm.Round)
 		t.acceptProposal(mm)
 	case *VoteMsg:
@@ -378,6 +437,7 @@ func (t *Tendermint) OnMessage(from types.NodeID, m types.Message) {
 		if !t.env.Verifier().VerifySig(from, mm.SigDigest(), mm.Sig) {
 			return
 		}
+		t.noteHeight(from, mm.Height)
 		t.noteRound(from, mm.Height, mm.Round)
 		t.recordVote(from, mm)
 	case *FetchProposalMsg:
@@ -387,7 +447,105 @@ func (t *Tendermint) OnMessage(from types.NodeID, m types.Message) {
 			prop.Sig = t.env.Signer().Sign(prop.SigDigest())
 			t.env.Send(from, prop)
 		}
+	case *FetchDecisionMsg:
+		t.onFetchDecision(from, mm)
+	case *DecisionMsg:
+		t.onDecision(mm)
 	}
+}
+
+func (t *Tendermint) onFetchDecision(from types.NodeID, m *FetchDecisionMsg) {
+	for h := m.From + 1; h <= m.From+32; h++ {
+		d := t.decisions[h]
+		if d == nil {
+			return
+		}
+		resp := &DecisionMsg{Height: h, Round: d.round, Batch: d.batch}
+		for id, sig := range d.sigs {
+			resp.Voters = append(resp.Voters, id)
+			resp.Sigs = append(resp.Sigs, sig)
+		}
+		// Map order would leak into the wire bytes; replays must be
+		// bit-identical, so fix the certificate order.
+		sort.Sort(&decisionCert{resp.Voters, resp.Sigs})
+		t.env.Send(from, resp)
+	}
+}
+
+// decisionCert sorts a (voter, sig) certificate by voter ID.
+type decisionCert struct {
+	voters []types.NodeID
+	sigs   [][]byte
+}
+
+func (c *decisionCert) Len() int { return len(c.voters) }
+func (c *decisionCert) Swap(i, j int) {
+	c.voters[i], c.voters[j] = c.voters[j], c.voters[i]
+	c.sigs[i], c.sigs[j] = c.sigs[j], c.sigs[i]
+}
+func (c *decisionCert) Less(i, j int) bool { return c.voters[i] < c.voters[j] }
+
+// onDecision adopts a decided height after re-verifying its 2f+1
+// precommit signatures, feeding them through the normal vote path so
+// maybeCommit's ordinary decision rule fires.
+func (t *Tendermint) onDecision(m *DecisionMsg) {
+	if m.Batch == nil || m.Height < t.height || len(m.Voters) != len(m.Sigs) {
+		return
+	}
+	d := m.Batch.Digest()
+	seen := make(map[types.NodeID]bool, len(m.Voters))
+	votes := make([]*VoteMsg, 0, len(m.Voters))
+	for i, id := range m.Voters {
+		v := &VoteMsg{Type: votePrecommit, Height: m.Height, Round: m.Round,
+			Digest: d, Replica: id, Sig: m.Sigs[i]}
+		if seen[id] || !t.env.Verifier().VerifySig(id, v.SigDigest(), v.Sig) {
+			return
+		}
+		seen[id] = true
+		votes = append(votes, v)
+	}
+	if len(votes) < t.env.Config().Quorum() {
+		return
+	}
+	st := t.state(m.Height, m.Round)
+	if !st.hasProp {
+		st.hasProp = true
+		st.batch = m.Batch
+		st.digest = d
+	}
+	for _, v := range votes {
+		t.recordVote(v.Replica, v)
+	}
+}
+
+// noteHeight tracks peer heights; once f+1 peers demonstrate activity
+// above our height the cluster has decided heights we missed, and no
+// quorum may remain at ours — fetch the decisions.
+func (t *Tendermint) noteHeight(from types.NodeID, h types.SeqNum) {
+	if h > t.peerHeight[from] {
+		t.peerHeight[from] = h
+	}
+	if h <= t.height {
+		return
+	}
+	ahead := 0
+	for _, ph := range t.peerHeight {
+		if ph > t.height {
+			ahead++
+		}
+	}
+	if ahead < t.env.F()+1 {
+		return
+	}
+	if t.fetching && t.fetchingFrom >= t.height {
+		return // a fetch for this height is already in flight
+	}
+	t.fetching = true
+	t.fetchingFrom = t.height
+	t.env.Broadcast(&FetchDecisionMsg{From: t.env.Ledger().LastExecuted()})
+	// Loss can eat the fetch or its response; keep a re-fetch window
+	// armed until the height advances.
+	t.env.SetTimer(core.TimerID{Name: timerCatchup}, t.env.Config().ViewChangeTimeout)
 }
 
 // noteRound implements round catch-up: when f+1 peers demonstrate
@@ -430,18 +588,21 @@ func (t *Tendermint) recordVote(from types.NodeID, v *VoteMsg) {
 		return // decided height
 	}
 	st := t.state(v.Height, v.Round)
-	var set map[types.Digest]map[types.NodeID]bool
 	if v.Type == votePrevote {
-		set = st.prevotes
+		voters := st.prevotes[v.Digest]
+		if voters == nil {
+			voters = make(map[types.NodeID]bool)
+			st.prevotes[v.Digest] = voters
+		}
+		voters[from] = true
 	} else {
-		set = st.precommits
+		voters := st.precommits[v.Digest]
+		if voters == nil {
+			voters = make(map[types.NodeID][]byte)
+			st.precommits[v.Digest] = voters
+		}
+		voters[from] = v.Sig
 	}
-	voters := set[v.Digest]
-	if voters == nil {
-		voters = make(map[types.NodeID]bool)
-		set[v.Digest] = voters
-	}
-	voters[from] = true
 	if v.Height == t.height && v.Round == t.round {
 		t.advanceStep(st)
 	}
@@ -492,13 +653,17 @@ func (t *Tendermint) maybeCommit(h types.SeqNum, r uint32) {
 			continue
 		}
 		if !st.hasProp || st.digest != digest {
-			// Decided but we never saw the batch: fetch it from a
-			// precommitter, then recheck on arrival.
+			// Decided but we never saw the batch: fetch it from the
+			// lowest-ID precommitter (fixed choice — map order must not
+			// leak into the message stream), then recheck on arrival.
+			target := types.NodeID(-1)
 			for id := range voters {
-				if id != t.env.ID() {
-					t.env.Send(id, &FetchProposalMsg{Height: h, Round: r})
-					break
+				if id != t.env.ID() && (target < 0 || id < target) {
+					target = id
 				}
+			}
+			if target >= 0 {
+				t.env.Send(target, &FetchProposalMsg{Height: h, Round: r})
 			}
 			return
 		}
@@ -509,9 +674,16 @@ func (t *Tendermint) maybeCommit(h types.SeqNum, r uint32) {
 		for id := range voters {
 			proof.Voters = append(proof.Voters, id)
 		}
+		// Retain the signed quorum: it is the transferable certificate
+		// that lets stranded replicas adopt this decision later.
+		sigs := make(map[types.NodeID][]byte, len(voters))
+		for id, sig := range voters {
+			sigs[id] = sig
+		}
+		t.decisions[h] = &decision{round: r, batch: st.batch, sigs: sigs}
 		t.sawQuorumPrev = true
+		// Commit executes synchronously; OnExecuted advances the height.
 		t.env.Commit(types.View(r), h, st.batch, proof)
-		t.enterHeight(h + 1)
 		return
 	}
 }
@@ -531,6 +703,34 @@ func (t *Tendermint) enterHeight(h types.SeqNum) {
 	t.lockedBatch = nil
 	t.lockedDigest = types.ZeroDigest
 	t.env.ViewChanged(types.View(h)) // rotation event for the metrics
+
+	if t.fetching && h > t.fetchingFrom {
+		t.fetching = false
+		t.env.StopTimer(core.TimerID{Name: timerCatchup})
+	}
+	low := t.env.Ledger().LowWater()
+	for s := range t.decisions {
+		if s <= low {
+			delete(t.decisions, s)
+		}
+	}
+
+	// Decision transfer or early votes may already hold a quorum at this
+	// height; drain it (in round order, for determinism) before acting
+	// as proposer here.
+	var rounds []uint32
+	for k := range t.states {
+		if k.H == h {
+			rounds = append(rounds, k.R)
+		}
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	for _, r := range rounds {
+		t.maybeCommit(h, r)
+		if t.height != h {
+			return // committed; the recursive enterHeight finished the setup
+		}
+	}
 
 	if t.proposer(h, 0) == t.env.ID() {
 		// DC4: wait Δ so every slow-but-correct replica's precommit
@@ -602,11 +802,27 @@ func (t *Tendermint) OnTimer(id core.TimerID) {
 		if id.Seq == t.height && id.View == types.View(t.round) {
 			t.nextRound()
 		}
+	case timerCatchup:
+		if !t.fetching {
+			return
+		}
+		// The fetch or its response was lost; retry until the height
+		// advances past the point the fetch started from.
+		t.env.Broadcast(&FetchDecisionMsg{From: t.env.Ledger().LastExecuted()})
+		t.env.SetTimer(core.TimerID{Name: timerCatchup}, t.env.Config().ViewChangeTimeout)
 	}
 }
 
-// OnExecuted implements core.Protocol.
+// OnExecuted implements core.Protocol. It fires both for our own
+// commits and for slots adopted through checkpoint state transfer;
+// either way everything through seq is decided, so the consensus height
+// must follow — a replica whose ledger was caught up by state transfer
+// but whose height stayed behind would be a proposer that never
+// proposes, stalling every round assigned to it.
 func (t *Tendermint) OnExecuted(seq types.SeqNum, batch *types.Batch, results [][]byte) {
+	if seq >= t.height {
+		t.enterHeight(seq + 1)
+	}
 	for i, req := range batch.Requests {
 		delete(t.memSet, req.Key())
 		t.done[req.Key()] = true

@@ -144,6 +144,12 @@ func (n *Network) SetLinkDelay(from, to types.NodeID, d time.Duration) {
 	n.linkDelay[[2]types.NodeID{from, to}] = d
 }
 
+// ClearLinkDelay removes the override on the directed link from→to,
+// returning it to the configured base delay.
+func (n *Network) ClearLinkDelay(from, to types.NodeID) {
+	delete(n.linkDelay, [2]types.NodeID{from, to})
+}
+
 // Partition splits nodes into isolated groups. Nodes not mentioned stay
 // in group 0. Cross-group messages are dropped until Heal.
 func (n *Network) Partition(groups ...[]types.NodeID) {

@@ -35,6 +35,7 @@ var wireMessages = []types.Message{
 	&pbft.FetchCommittedMsg{}, &pbft.CommittedMsg{},
 	// tendermint
 	&tendermint.ProposalMsg{}, &tendermint.VoteMsg{}, &tendermint.FetchProposalMsg{},
+	&tendermint.FetchDecisionMsg{}, &tendermint.DecisionMsg{},
 	// hotstuff
 	&hotstuff.ProposalMsg{}, &hotstuff.VoteMsg{}, &hotstuff.TimeoutMsg{},
 	&hotstuff.QCMsg{}, &hotstuff.FetchBlockMsg{}, &hotstuff.BlockMsg{},
