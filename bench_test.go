@@ -1,5 +1,5 @@
 // Benchmarks wrapping the experiment harness: one testing.B benchmark per
-// table/figure of EXPERIMENTS.md (X1–X15), plus micro-benchmarks for the
+// table/figure of EXPERIMENTS.md (X1–X17), plus micro-benchmarks for the
 // substrates. Experiment benchmarks report virtual-time metrics through
 // b.ReportMetric where meaningful; their full tables are printed by
 // `go run ./cmd/bftbench`.
@@ -8,6 +8,8 @@ package bftkit
 import (
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"testing"
 	"time"
 
@@ -46,6 +48,8 @@ func BenchmarkX12PhaseVsReplicas(b *testing.B)           { benchExperiment(b, "X
 func BenchmarkX13CheckpointRecovery(b *testing.B)        { benchExperiment(b, "X13") }
 func BenchmarkX14RobustUnderAttack(b *testing.B)         { benchExperiment(b, "X14") }
 func BenchmarkX15PhaseAccounting(b *testing.B)           { benchExperiment(b, "X15") }
+func BenchmarkX16ByzantineFallback(b *testing.B)         { benchExperiment(b, "X16") }
+func BenchmarkX17CriticalPath(b *testing.B)              { benchExperiment(b, "X17") }
 
 func BenchmarkA01BatchingAblation(b *testing.B)         { benchExperiment(b, "A1") }
 func BenchmarkA02LeaderReputationAblation(b *testing.B) { benchExperiment(b, "A2") }
@@ -152,6 +156,13 @@ func BenchmarkTraceEnabled(b *testing.B) {
 	benchTracedCluster(b, obsv.New(obsv.Options{}))
 }
 
+// BenchmarkTraceEventsRing measures full span-capture mode: event
+// recording into the bounded ring the chaos flight recorder and span
+// builder consume, on top of the counters TraceEnabled pays for.
+func BenchmarkTraceEventsRing(b *testing.B) {
+	benchTracedCluster(b, obsv.New(obsv.Options{Events: true, Ring: true, MaxEvents: 1 << 15}))
+}
+
 // BenchmarkTraceNilCall pins the cost of an instrumented call site when
 // tracing is off — a method call on a nil *Tracer, expected to inline
 // to a nil check.
@@ -159,5 +170,37 @@ func BenchmarkTraceNilCall(b *testing.B) {
 	var tr *obsv.Tracer
 	for i := 0; i < b.N; i++ {
 		tr.CryptoOp(0, obsv.CryptoSign)
+	}
+}
+
+// TestSpanCaptureOverheadGuard enforces the observability budget in CI:
+// span capture (event recording into the ring) must add less than 5%
+// end-to-end cluster cost over the counters-only tracer. Gated behind
+// BFTKIT_BENCH_GUARD so ordinary `go test` runs — and the race-enabled
+// suite, whose ~15× slowdown would drown the signal — skip it; the CI
+// bench job sets the variable on an otherwise idle runner. Min-of-N
+// wall-clock comparison filters scheduler noise.
+func TestSpanCaptureOverheadGuard(t *testing.T) {
+	if os.Getenv("BFTKIT_BENCH_GUARD") == "" {
+		t.Skip("set BFTKIT_BENCH_GUARD=1 to run the span-capture overhead guard")
+	}
+	best := func(mk func() *obsv.Tracer) float64 {
+		min := math.MaxFloat64
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(func(b *testing.B) { benchTracedCluster(b, mk()) })
+			if v := float64(r.NsPerOp()); v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	counters := best(func() *obsv.Tracer { return obsv.New(obsv.Options{}) })
+	ring := best(func() *obsv.Tracer {
+		return obsv.New(obsv.Options{Events: true, Ring: true, MaxEvents: 1 << 15})
+	})
+	overhead := (ring - counters) / counters
+	t.Logf("counters-only %.0fns/op, events+ring %.0fns/op, overhead %.2f%%", counters, ring, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("span capture adds %.2f%% over counters-only tracing, budget is 5%%", overhead*100)
 	}
 }

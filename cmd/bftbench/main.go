@@ -11,6 +11,8 @@
 //	                         # breakdown after every cluster run
 //	bftbench -trace t.jsonl  # dump every trace event as JSON lines
 //	bftbench -csv phases.csv # per-node per-phase counters as CSV
+//	bftbench -perfetto t.json    # Chrome/Perfetto trace_event timeline
+//	bftbench -perfetto t.json.gz # same, gzip-compressed (-trace too)
 //
 // Byzantine mode runs one protocol against a live adversary from
 // internal/byz and prints the attacked run next to the fault-free
@@ -35,8 +37,10 @@ package main
 
 import (
 	"bufio"
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -52,7 +56,8 @@ func main() {
 	one := flag.String("experiment", "", "run a single experiment by ID (e.g. X4)")
 	list := flag.Bool("list", false, "list experiments")
 	stats := flag.Bool("stats", false, "print per-phase breakdown after each run")
-	trace := flag.String("trace", "", "write JSON-lines trace events to this file")
+	trace := flag.String("trace", "", "write JSON-lines trace events to this file (.gz compresses)")
+	perfetto := flag.String("perfetto", "", "write a Chrome/Perfetto trace_event JSON to this file (.gz compresses)")
 	csv := flag.String("csv", "", "write per-node per-phase counters to this CSV file")
 	proto := flag.String("protocol", "pbft", "protocol for -byz runs")
 	byzSpec := flag.String("byz", "", "Byzantine behavior spec (see -byz list), e.g. equivocate or delay:10ms")
@@ -111,14 +116,20 @@ func main() {
 		experiments.Observe.Stats = os.Stdout
 	}
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		w, err := traceFile(*trace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
 			os.Exit(1)
 		}
-		w := bufio.NewWriter(f)
-		defer func() { w.Flush(); f.Close() }()
+		defer w.Close()
 		experiments.Observe.TraceJSON = w
+	}
+	if *perfetto != "" {
+		path := *perfetto
+		// Reopened per cluster run — see experiments.Observe.Perfetto.
+		experiments.Observe.Perfetto = func() (io.WriteCloser, error) {
+			return traceFile(path)
+		}
 	}
 	if *csv != "" {
 		f, err := os.Create(*csv)
@@ -168,7 +179,7 @@ func main() {
 }
 
 func replayOne(path string) int {
-	rep, err := chaos.Replay(path)
+	rep, tracer, err := chaos.ReplayRecorded(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
 		return 1
@@ -180,10 +191,50 @@ func replayOne(path string) int {
 		for _, v := range rep.Violations {
 			fmt.Printf("  VIOLATION [%s] at %v: %s\n", v.Invariant, v.At, v.Detail)
 		}
+		fp := chaos.FlightPath(path)
+		if err := chaos.NewFlight(rep, tracer).Write(fp); err != nil {
+			fmt.Fprintf(os.Stderr, "bftbench: writing flight dump: %v\n", err)
+		} else {
+			fmt.Printf("  flight recorder: span timeline of the failure → %s\n", fp)
+		}
 		return 1
 	}
 	fmt.Println("  all invariants hold")
 	return 0
+}
+
+// traceFile opens a trace output file, transparently gzip-compressing
+// when the name ends in .gz (event dumps compress ~10×). Close flushes
+// every layer in order.
+func traceFile(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		return &stackedWriter{Writer: bufio.NewWriter(zw), closers: []io.Closer{zw, f}}, nil
+	}
+	return &stackedWriter{Writer: bufio.NewWriter(f), closers: []io.Closer{f}}, nil
+}
+
+// stackedWriter is a buffered writer over a stack of wrapped layers;
+// Close flushes the buffer and closes outermost-first.
+type stackedWriter struct {
+	*bufio.Writer
+	closers []io.Closer
+}
+
+func (s *stackedWriter) Close() error {
+	if err := s.Writer.Flush(); err != nil {
+		return err
+	}
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runOne(e experiments.Experiment) {

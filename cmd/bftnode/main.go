@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -36,6 +37,7 @@ func main() {
 	f := flag.Int("f", 0, "fault threshold (0 = derive from n)")
 	verbose := flag.Bool("v", false, "log protocol traces")
 	stats := flag.Bool("stats", false, "print the per-phase message/byte/crypto breakdown on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz, and /debug/pprof on this address")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -64,7 +66,7 @@ func main() {
 	node := transport.NewNode(types.NodeID(*id), peers, *seed)
 	auth := crypto.NewAuthority(*seed)
 	var tracer *obsv.Tracer
-	if *stats {
+	if *stats || *metricsAddr != "" {
 		tracer = obsv.New(obsv.Options{Label: fmt.Sprintf("%s/r%d", *proto, *id)})
 		node.SetTracer(tracer)
 		auth.SetObserver(func(nid types.NodeID, op crypto.Op) {
@@ -100,9 +102,24 @@ func main() {
 	node.Do(replica.Start)
 	fmt.Printf("bftnode %d (%s, n=%d, f=%d) listening on %s\n", *id, *proto, n, cfg.F, peers[types.NodeID(*id)])
 
+	var ops *http.Server
+	if *metricsAddr != "" {
+		srv, addr, err := startOps(*metricsAddr, opsMux(*proto, *id, time.Now(), tracer))
+		if err != nil {
+			log.Fatalf("ops endpoints: %v", err)
+		}
+		ops = srv
+		fmt.Printf("bftnode %d ops endpoints on http://%s (/metrics, /healthz, /debug/pprof)\n", *id, addr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	if ops != nil {
+		ops.Close()
+	}
 	node.Stop()
-	tracer.WriteSummary(os.Stdout)
+	if *stats {
+		tracer.WriteSummary(os.Stdout)
+	}
 }

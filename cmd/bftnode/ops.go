@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"bftkit/internal/obsv"
+)
+
+// opsHealth is the /healthz payload.
+type opsHealth struct {
+	Status        string  `json:"status"`
+	Protocol      string  `json:"protocol"`
+	Node          int     `json:"node"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// opsMux assembles the live ops surface served on -metrics-addr: the
+// tracer's counters and latency histograms in Prometheus text format, a
+// liveness probe, and the standard pprof profile handlers. The tracer
+// is mutex-guarded, so scrapes race-free against the running node.
+func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		tr.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(opsHealth{
+			Status:        "ok",
+			Protocol:      protocol,
+			Node:          id,
+			UptimeSeconds: time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startOps binds addr and serves the mux in the background; the caller
+// closes the returned server on shutdown. The listener's address comes
+// back separately so ":0" picks a free port and the log line names it.
+func startOps(addr string, mux *http.ServeMux) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bftkit/internal/obsv"
+	"bftkit/internal/obsv/span"
+)
+
+// Flight is the flight-recorder dump written next to a reproducer: the
+// causal span forest reconstructed from the run's bounded event ring,
+// plus the verdict it ended with. Where the Artifact answers "how do I
+// reproduce this", the Flight answers "what was happening when it broke"
+// — per-request timelines with ordering phases, commits, and replies, up
+// to the moment the oracle fired.
+type Flight struct {
+	Version int `json:"version"`
+	// Protocol and EndTime locate the dump without opening the artifact.
+	Protocol string        `json:"protocol"`
+	EndTime  time.Duration `json:"end_time"`
+	// Violations is the oracle's verdict, duplicated from the report so
+	// the dump is self-contained.
+	Violations []Violation `json:"violations,omitempty"`
+	// Forest is the reconstructed span forest. With ring capture the
+	// oldest events may have been evicted, so early trees can be partial;
+	// DroppedEvents says how much of the run scrolled off.
+	Forest        *span.Forest `json:"forest"`
+	DroppedEvents int64        `json:"dropped_events"`
+}
+
+// NewFlight reconstructs the flight dump from a recorded run.
+func NewFlight(rep *Report, tr *obsv.Tracer) *Flight {
+	return &Flight{
+		Version:       ArtifactVersion,
+		Protocol:      rep.Schedule.Config.Protocol,
+		EndTime:       rep.EndTime,
+		Violations:    rep.Violations,
+		Forest:        span.Build(tr),
+		DroppedEvents: tr.DroppedEvents(),
+	}
+}
+
+// Write stores the flight dump as indented JSON.
+func (f *Flight) Write(path string) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("chaos: %v", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("chaos: %v", err)
+		}
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// FlightPath derives the flight dump's filename from a reproducer path:
+// chaos-pbft-seed1-case0001.json → chaos-pbft-seed1-case0001.flight.json.
+func FlightPath(artifactPath string) string {
+	return strings.TrimSuffix(artifactPath, ".json") + ".flight.json"
+}

@@ -39,6 +39,9 @@ type Failure struct {
 	Artifact *Artifact `json:"artifact"`
 	// Path is where the reproducer was written ("" if no OutDir).
 	Path string `json:"path,omitempty"`
+	// FlightPath is where the flight-recorder span dump was written
+	// alongside the reproducer ("" if no OutDir).
+	FlightPath string `json:"flight_path,omitempty"`
 	// Report is the (shrunken) failing run.
 	Report *Report `json:"-"`
 }
@@ -119,6 +122,17 @@ func Fuzz(opts FuzzOptions) *FuzzResult {
 			if err := f.Artifact.Write(f.Path); err != nil {
 				logf("chaos: writing reproducer: %v", err)
 				f.Path = ""
+			}
+			// Replay the minimal schedule once more with the flight
+			// recorder on, so every reproducer ships with the causal span
+			// timeline of its failure.
+			if f.Path != "" {
+				minRep, tracer := RunRecorded(rep.Schedule)
+				f.FlightPath = FlightPath(f.Path)
+				if err := NewFlight(minRep, tracer).Write(f.FlightPath); err != nil {
+					logf("chaos: writing flight dump: %v", err)
+					f.FlightPath = ""
+				}
 			}
 		}
 		res.Failures = append(res.Failures, f)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"bftkit/internal/obsv"
 )
 
 // ArtifactVersion stamps emitted reproducers so a future format change
@@ -65,9 +67,17 @@ func (a *Artifact) Write(path string) error {
 // verdict is in the returned report; replaying a reproducer from the
 // corpus is expected to fail only while the underlying bug is alive.
 func Replay(path string) (*Report, error) {
+	rep, _, err := ReplayRecorded(path)
+	return rep, err
+}
+
+// ReplayRecorded is Replay with the flight recorder: the returned tracer
+// holds the run's bounded event ring, ready for NewFlight / span.Build.
+func ReplayRecorded(path string) (*Report, *obsv.Tracer, error) {
 	s, err := LoadSchedule(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return Run(s), nil
+	rep, tracer := RunRecorded(s)
+	return rep, tracer, nil
 }

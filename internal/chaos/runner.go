@@ -67,6 +67,16 @@ func (r *Report) InvariantSet() map[string]bool {
 // Run executes one schedule on the deterministic simulator and checks
 // the invariant oracle throughout. The schedule must Validate.
 func Run(s Schedule) *Report {
+	r, _ := RunRecorded(s)
+	return r
+}
+
+// RunRecorded is Run with a flight recorder: the returned tracer holds a
+// bounded ring of the run's most recent trace events (sends, delivers,
+// commits, client submit/done), from which span.Build reconstructs the
+// causal timeline of a failing schedule. The tracer stays out of the
+// Report so two runs of the same schedule still compare equal.
+func RunRecorded(s Schedule) (*Report, *obsv.Tracer) {
 	if err := s.Validate(); err != nil {
 		panic("chaos: Run on invalid schedule: " + err.Error())
 	}
@@ -82,7 +92,14 @@ func Run(s Schedule) *Report {
 	}
 
 	var oracle *Oracle
-	tracer := obsv.New(obsv.Options{})
+	tracer := obsv.New(obsv.Options{
+		Label: cfg.Protocol,
+		// Flight-recorder capture: keep the most recent events in a ring
+		// so the failure tail is always present at bounded memory.
+		Events:    true,
+		Ring:      true,
+		MaxEvents: 1 << 15,
+	})
 	c := harness.NewCluster(harness.Options{
 		Protocol:  cfg.Protocol,
 		N:         cfg.N,
@@ -226,7 +243,7 @@ func Run(s Schedule) *Report {
 		Msgs:       msgs,
 		Bytes:      bytes,
 		Violations: violations,
-	}
+	}, tracer
 }
 
 // observerFunc adapts a late-bound *Oracle to harness.Observer: the

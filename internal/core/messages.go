@@ -13,6 +13,9 @@ type RequestMsg struct {
 // Kind implements types.Message.
 func (*RequestMsg) Kind() string { return "REQUEST" }
 
+// RequestRef implements obsv.Keyed: a request message is about itself.
+func (m *RequestMsg) RequestRef() types.RequestKey { return m.Req.Key() }
+
 // ReplyMsg carries a replica's reply back to a client.
 type ReplyMsg struct {
 	R *types.Reply
@@ -20,6 +23,16 @@ type ReplyMsg struct {
 
 // Kind implements types.Message.
 func (*ReplyMsg) Kind() string { return "REPLY" }
+
+// RequestRef implements obsv.Keyed. A reply carries both the request key
+// and the consensus slot, making it the join point span reconstruction
+// uses to link a client's request to the slot that ordered it.
+func (m *ReplyMsg) RequestRef() types.RequestKey {
+	return types.RequestKey{Client: m.R.Client, ClientSeq: m.R.ClientSeq}
+}
+
+// Slot implements obsv.Slotted.
+func (m *ReplyMsg) Slot() (types.View, types.SeqNum) { return m.R.View, m.R.Seq }
 
 // ForwardMsg relays a request from a backup to the current leader, the
 // standard liveness mechanism when clients send to the wrong replica.
@@ -29,6 +42,9 @@ type ForwardMsg struct {
 
 // Kind implements types.Message.
 func (*ForwardMsg) Kind() string { return "FORWARD" }
+
+// RequestRef implements obsv.Keyed.
+func (m *ForwardMsg) RequestRef() types.RequestKey { return m.Req.Key() }
 
 // CheckpointMsg announces a replica's checkpoint at a sequence number
 // (dimension P4). Shared by every protocol that embeds CheckpointManager.

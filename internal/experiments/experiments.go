@@ -18,6 +18,7 @@ import (
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
+	"bftkit/internal/obsv/span"
 	"bftkit/internal/sim"
 	"bftkit/internal/types"
 
@@ -63,6 +64,7 @@ var All = []Experiment{
 	{"X14", "Robustness under a delay attack: Prime vs PBFT vs Raft (DC12)", X14RobustUnderAttack},
 	{"X15", "Per-phase message/byte accounting via the obsv layer (E2, P2)", X15PhaseAccounting},
 	{"X16", "Byzantine behaviors vs speculative fast paths (DC5–DC8, P6)", X16ByzantineFallback},
+	{"X17", "Critical-path attribution from request-scoped span trees (P2)", X17CriticalPath},
 }
 
 // Observe routes per-run observability output from every cluster the
@@ -72,6 +74,11 @@ var Observe struct {
 	Stats     io.Writer // human per-phase summary after each run
 	TraceJSON io.Writer // JSON-lines event dump (captures events — slower)
 	CSV       io.Writer // per-node per-phase counter rows
+	// Perfetto opens the Chrome/Perfetto trace_event sink for one
+	// cluster run. Unlike the appendable writers above, a trace_event
+	// document cannot be concatenated, so every run reopens (truncates)
+	// the sink and the file ends up holding the last run's timeline.
+	Perfetto func() (io.WriteCloser, error)
 }
 
 // ByID finds an experiment.
@@ -133,8 +140,8 @@ func run(rc runCfg) (*harness.Cluster, result) {
 	}
 	tr := rc.Trace
 	flush := false
-	if tr == nil && (Observe.Stats != nil || Observe.TraceJSON != nil || Observe.CSV != nil) {
-		tr = obsv.New(obsv.Options{Events: Observe.TraceJSON != nil})
+	if tr == nil && (Observe.Stats != nil || Observe.TraceJSON != nil || Observe.CSV != nil || Observe.Perfetto != nil) {
+		tr = obsv.New(obsv.Options{Events: Observe.TraceJSON != nil || Observe.Perfetto != nil})
 		flush = true
 	}
 	c := harness.NewCluster(harness.Options{
@@ -196,6 +203,12 @@ func run(rc runCfg) (*harness.Cluster, result) {
 		}
 		if Observe.CSV != nil {
 			tr.WriteCSV(Observe.CSV)
+		}
+		if Observe.Perfetto != nil {
+			if pw, err := Observe.Perfetto(); err == nil {
+				span.WritePerfetto(pw, tr)
+				pw.Close()
+			}
 		}
 	}
 	return c, res

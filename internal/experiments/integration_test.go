@@ -120,13 +120,14 @@ func TestExperimentSmoke(t *testing.T) {
 // TestExperimentRegistryComplete pins the experiment inventory to
 // DESIGN.md's index: X1–X14 for the paper's claims, X15 for the
 // measured per-phase accounting, X16 for the Byzantine-behavior
-// fallback table, plus the A-series ablations.
+// fallback table, X17 for the span-tree critical-path attribution,
+// plus the A-series ablations.
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(All) != 16+len(Ablations) {
-		t.Fatalf("registry has %d experiments, want 16 paper claims + %d ablations",
+	if len(All) != 17+len(Ablations) {
+		t.Fatalf("registry has %d experiments, want 17 paper claims + %d ablations",
 			len(All), len(Ablations))
 	}
-	for i := 0; i < 16; i++ {
+	for i := 0; i < 17; i++ {
 		want := fmt.Sprintf("X%d", i+1)
 		if All[i].ID != want {
 			t.Fatalf("experiment %d has ID %s, want %s", i, All[i].ID, want)
@@ -492,5 +493,80 @@ func TestByzantineGauntlet(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestX17SpanTreesEveryProtocol asserts the tentpole claim behind X17:
+// the span builder reconstructs a causal tree for every completed
+// request of every registered protocol from the event stream alone, and
+// for sequential-phase protocols the measured ordering-hop count equals
+// the profile's phase count — the paper's latency ≈ phases × δ
+// prediction, observed rather than modeled. Pipelined (hotstuff,
+// hotstuff2, kauri), chained (chain), decoupled (prime, themis),
+// client-driven (qu), and heartbeat-batched (raftlite) protocols
+// overlap or fold phases, so for those only reconstruction is pinned.
+func TestX17SpanTreesEveryProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every protocol with full event capture")
+	}
+	// Protocols whose good-case critical path has exactly Profile.Phases
+	// sequential message delays between submit and reply.
+	exactHops := map[string]bool{
+		"pbft": true, "pbft-mac": true, "tendermint": true, "sbft": true,
+		"poe": true, "fab": true, "zyzzyva": true, "zyzzyva5": true,
+		"cheapbft": true,
+	}
+	for _, proto := range allProtocols {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			reg, ok := core.Lookup(proto)
+			if !ok {
+				t.Fatalf("protocol %s not registered", proto)
+			}
+			f := x17Forest(proto)
+			if len(f.Trees) == 0 {
+				t.Fatal("span builder reconstructed no trees")
+			}
+			done := 0
+			withChildren := 0
+			for _, tree := range f.Trees {
+				if tree.Done {
+					done++
+				}
+				if len(tree.Root.Children) > 0 {
+					withChildren++
+				}
+			}
+			if done == 0 {
+				t.Fatalf("no completed span tree among %d", len(f.Trees))
+			}
+			if withChildren == 0 {
+				t.Fatal("no span tree has children — causal stitching broke")
+			}
+			a := f.Attribute()
+			if a.Requests == 0 {
+				t.Fatal("attribution covered no requests")
+			}
+			if a.Total <= 0 {
+				t.Fatalf("attribution total = %v", a.Total)
+			}
+			// Critical paths must tile the end-to-end latency exactly.
+			for _, tree := range f.Trees {
+				if !tree.Done {
+					continue
+				}
+				var sum time.Duration
+				for _, seg := range tree.CriticalPath() {
+					sum += seg.Dur()
+				}
+				if sum != tree.Root.Dur() {
+					t.Fatalf("critical path sums to %v, want end-to-end %v", sum, tree.Root.Dur())
+				}
+			}
+			if exactHops[proto] && a.Hops != reg.Profile.Phases {
+				t.Fatalf("measured %d ordering hops, profile predicts %d phases", a.Hops, reg.Profile.Phases)
+			}
+		})
 	}
 }

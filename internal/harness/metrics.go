@@ -76,11 +76,13 @@ func (m *Metrics) onSubmit(req *types.Request, at time.Duration) {
 	m.Submitted++
 	m.submitTimes[req.Key()] = at
 	m.arrival[req.Key()] = req.ArrivalHint
+	m.Trace.Submit(at, req.Client, req.Key())
 }
 
 func (m *Metrics) onDone(id types.NodeID, req *types.Request, result []byte, at time.Duration) {
 	m.Completed++
 	m.DoneOrder = append(m.DoneOrder, req.Key())
+	m.Trace.Done(at, id, req.Key())
 	if at < m.MeasureFrom {
 		return // warmup: visible in Completed, excluded from the window
 	}

@@ -22,6 +22,10 @@ type jsonEvent struct {
 	Kind  string  `json:"kind,omitempty"`
 	Phase string  `json:"phase,omitempty"`
 	Bytes int     `json:"bytes,omitempty"`
+	// Request coordinates, present when the message exposed them (Keyed)
+	// or the event is a client submit/done.
+	Client    string `json:"client,omitempty"`
+	ClientSeq uint64 `json:"client_seq,omitempty"`
 }
 
 // WriteTrace dumps the captured event log as JSON lines (one event per
@@ -47,6 +51,10 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		}
 		if e.Type == EvSend || e.Type == EvDeliver {
 			je.Peer = e.Peer.String()
+		}
+		if e.HasRequest() {
+			je.Client = e.Client.String()
+			je.ClientSeq = e.ClientSeq
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -76,6 +84,13 @@ func (t *Tracer) WriteCSV(w io.Writer) error {
 				st.Sign, st.Verify, st.MACSign, st.MACVerify); err != nil {
 				return err
 			}
+		}
+	}
+	// Mirror WriteTrace's truncation marker so a clipped event log is
+	// visible in every export format, not just the JSON trace.
+	if d := t.DroppedEvents(); d > 0 {
+		if _, err := fmt.Fprintf(w, "# run=%s truncated_events=%d\n", label, d); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -117,9 +132,16 @@ func (t *Tracer) WriteSummary(w io.Writer) {
 		fmt.Fprint(w, "  ")
 		t.CommitLatency.Summary(w)
 	}
+	if t.SlotLatency.Count() > 0 {
+		fmt.Fprint(w, "  ")
+		t.SlotLatency.Summary(w)
+	}
 	if t.QueueDepth.Count() > 0 {
 		fmt.Fprint(w, "  ")
 		t.QueueDepth.Summary(w)
+	}
+	if d := t.DroppedEvents(); d > 0 {
+		fmt.Fprintf(w, "  truncated events: %d (raise MaxEvents to keep the full log)\n", d)
 	}
 }
 

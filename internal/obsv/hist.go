@@ -122,6 +122,57 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// HistogramSnapshot is a consistent copy of a histogram's state, the
+// shape the Prometheus exporter renders from.
+type HistogramSnapshot struct {
+	Name    string
+	Unit    string
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [65]int64
+}
+
+// Snapshot returns a consistent copy of the histogram's counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Name:    h.name,
+		Unit:    h.unit,
+		Count:   h.count,
+		Sum:     h.sum,
+		Max:     h.max,
+		Buckets: h.buckets,
+	}
+}
+
+// Merge folds another histogram's samples into h bucket-by-bucket, so
+// per-node histograms aggregate cluster-wide without losing bucket
+// fidelity. A nil or empty other is a no-op; merging does not modify o.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	snap := o.Snapshot()
+	if snap.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range snap.Buckets {
+		h.buckets[i] += c
+	}
+	h.count += snap.Count
+	h.sum += snap.Sum
+	if snap.Max > h.max {
+		h.max = snap.Max
+	}
+	h.mu.Unlock()
+}
+
 // Summary writes a one-line digest: count, mean, p50/p99 bounds, max.
 func (h *Histogram) Summary(w io.Writer) {
 	if h == nil {

@@ -38,6 +38,12 @@ const (
 	EvExecute
 	EvViewChange
 	EvTimer
+	// EvSubmit and EvDone bracket one client request's lifetime: the
+	// harness emits them at submission and at verified completion, giving
+	// span reconstruction exact request boundaries even for protocols
+	// whose clients never send a REQUEST message (Q/U's proposer client).
+	EvSubmit
+	EvDone
 )
 
 var eventNames = [...]string{
@@ -48,6 +54,8 @@ var eventNames = [...]string{
 	EvExecute:    "execute",
 	EvViewChange: "view-change",
 	EvTimer:      "timer",
+	EvSubmit:     "submit",
+	EvDone:       "done",
 }
 
 // String returns the stable lowercase event name used in exports.
@@ -70,14 +78,34 @@ type Event struct {
 	Kind  string // message kind, timer name, or phase
 	Phase string
 	Bytes int
+	// Client/ClientSeq identify the request a message is about, when the
+	// message exposes it (Keyed). Together with View/Seq they are the
+	// causal coordinates span reconstruction correlates on.
+	Client    types.NodeID
+	ClientSeq uint64
 }
+
+// RequestKey returns the event's request coordinates.
+func (e *Event) RequestKey() types.RequestKey {
+	return types.RequestKey{Client: e.Client, ClientSeq: e.ClientSeq}
+}
+
+// HasRequest reports whether the event carries request coordinates.
+func (e *Event) HasRequest() bool { return e.Client != 0 }
 
 // Slotted lets a protocol message expose its consensus coordinates
 // (view, sequence) to the tracer, so send/deliver events carry them.
 // Implementing it is optional; messages without it are stamped with
-// zeros. PBFT, HotStuff, and Zyzzyva ordering messages implement it.
+// zeros. Every ordering message with view/sequence fields implements it.
 type Slotted interface {
 	Slot() (types.View, types.SeqNum)
+}
+
+// Keyed lets a message expose the client request it is about
+// (REQUEST/REPLY and forwards), so send/deliver events carry the request
+// coordinates that tie a client's submission to its consensus slot.
+type Keyed interface {
+	RequestRef() types.RequestKey
 }
 
 // CryptoKind enumerates the accounted cryptographic operations.
@@ -125,6 +153,12 @@ type Options struct {
 	// MaxEvents caps the retained event log (default 1<<20). Overflowing
 	// events are counted in Dropped but not retained.
 	MaxEvents int
+	// Ring makes the event log a circular buffer of the MaxEvents most
+	// recent events instead of keeping the first MaxEvents: overflow
+	// evicts the oldest event (still counted in Dropped). This is the
+	// flight-recorder mode the chaos runner uses — when a schedule fails,
+	// the tail of the run is what matters.
+	Ring bool
 }
 
 // nodeState is the per-node accounting: phase table plus the node's
@@ -143,14 +177,26 @@ type Tracer struct {
 
 	mu      sync.Mutex
 	events  []Event
+	head    int // ring mode: index of the oldest retained event
 	dropped int64
 	nodes   map[types.NodeID]*nodeState
 
+	// slotFirst records when a slot was first touched by any ordering
+	// message; slotDone marks slots whose latency was already observed.
+	// Together they feed SlotLatency without any client-side signal, so
+	// a live bftnode can export commit latency from replica-side events
+	// alone.
+	slotFirst map[types.SeqNum]time.Duration
+	slotDone  map[types.SeqNum]struct{}
+
 	// CommitLatency observes submit→first-commit per request (fed by
 	// harness.Metrics); QueueDepth samples the substrate's in-flight
-	// message count at each send.
+	// message count at each send; SlotLatency observes first-message→
+	// first-commit per slot, the replica-side proxy the live /metrics
+	// endpoint exports when no client feed exists.
 	CommitLatency *Histogram
 	QueueDepth    *Histogram
+	SlotLatency   *Histogram
 }
 
 // New returns an enabled tracer.
@@ -161,8 +207,11 @@ func New(opts Options) *Tracer {
 	return &Tracer{
 		opts:          opts,
 		nodes:         make(map[types.NodeID]*nodeState),
+		slotFirst:     make(map[types.SeqNum]time.Duration),
+		slotDone:      make(map[types.SeqNum]struct{}),
 		CommitLatency: NewHistogram("commit-latency", "µs"),
 		QueueDepth:    NewHistogram("queue-depth", "msgs"),
+		SlotLatency:   NewHistogram("slot-latency", "µs"),
 	}
 }
 
@@ -211,6 +260,16 @@ func (t *Tracer) record(e Event) {
 	}
 	if len(t.events) >= t.opts.MaxEvents {
 		t.dropped++
+		if !t.opts.Ring {
+			return
+		}
+		// Flight-recorder mode: overwrite the oldest event. head always
+		// points at the oldest retained event once the buffer has wrapped.
+		t.events[t.head] = e
+		t.head++
+		if t.head == len(t.events) {
+			t.head = 0
+		}
 		return
 	}
 	t.events = append(t.events, e)
@@ -222,6 +281,39 @@ func slotOf(m types.Message) (types.View, types.SeqNum) {
 		return s.Slot()
 	}
 	return 0, 0
+}
+
+// keyOf extracts request coordinates when the message exposes them.
+func keyOf(m types.Message) types.RequestKey {
+	if k, ok := m.(Keyed); ok {
+		return k.RequestRef()
+	}
+	return types.RequestKey{}
+}
+
+// slotLatencyCap bounds the slot-bookkeeping maps; a long-lived bftnode
+// must not leak an entry per slot forever, so past the cap both maps are
+// reset (losing at most the in-flight slots' samples).
+const slotLatencyCap = 1 << 17
+
+// touchSlot notes the first time a slot is seen in any ordering message,
+// so Commit can observe first-message→first-commit latency. Caller holds
+// t.mu.
+func (t *Tracer) touchSlot(at time.Duration, seq types.SeqNum) {
+	if seq == 0 {
+		return
+	}
+	if _, done := t.slotDone[seq]; done {
+		return
+	}
+	if _, ok := t.slotFirst[seq]; ok {
+		return
+	}
+	if len(t.slotFirst) >= slotLatencyCap || len(t.slotDone) >= slotLatencyCap {
+		t.slotFirst = make(map[types.SeqNum]time.Duration)
+		t.slotDone = make(map[types.SeqNum]struct{})
+	}
+	t.slotFirst[seq] = at
 }
 
 // enterPhase updates a node's current phase, emitting a phase-enter
@@ -243,6 +335,7 @@ func (t *Tracer) MsgSent(at time.Duration, from, to types.NodeID, m types.Messag
 	kind := m.Kind()
 	phase := PhaseOf(kind)
 	view, seq := slotOf(m)
+	key := keyOf(m)
 	t.mu.Lock()
 	ns := t.node(from)
 	st := ns.phase(phase)
@@ -250,8 +343,9 @@ func (t *Tracer) MsgSent(at time.Duration, from, to types.NodeID, m types.Messag
 	st.BytesSent += int64(bytes)
 	if IsProtocolPhase(phase) {
 		t.enterPhase(at, from, ns, phase, view, seq)
+		t.touchSlot(at, seq)
 	}
-	t.record(Event{At: at, Type: EvSend, Node: from, Peer: to, View: view, Seq: seq, Kind: kind, Phase: phase, Bytes: bytes})
+	t.record(Event{At: at, Type: EvSend, Node: from, Peer: to, View: view, Seq: seq, Kind: kind, Phase: phase, Bytes: bytes, Client: key.Client, ClientSeq: key.ClientSeq})
 	t.mu.Unlock()
 }
 
@@ -263,6 +357,7 @@ func (t *Tracer) MsgDelivered(at time.Duration, from, to types.NodeID, m types.M
 	kind := m.Kind()
 	phase := PhaseOf(kind)
 	view, seq := slotOf(m)
+	key := keyOf(m)
 	t.mu.Lock()
 	ns := t.node(to)
 	st := ns.phase(phase)
@@ -272,8 +367,9 @@ func (t *Tracer) MsgDelivered(at time.Duration, from, to types.NodeID, m types.M
 		// Receiving a phase's message moves the node into that phase for
 		// crypto-op attribution (verification happens on receipt).
 		ns.cur = phase
+		t.touchSlot(at, seq)
 	}
-	t.record(Event{At: at, Type: EvDeliver, Node: to, Peer: from, View: view, Seq: seq, Kind: kind, Phase: phase, Bytes: bytes})
+	t.record(Event{At: at, Type: EvDeliver, Node: to, Peer: from, View: view, Seq: seq, Kind: kind, Phase: phase, Bytes: bytes, Client: key.Client, ClientSeq: key.ClientSeq})
 	t.mu.Unlock()
 }
 
@@ -283,6 +379,11 @@ func (t *Tracer) Commit(at time.Duration, node types.NodeID, view types.View, se
 		return
 	}
 	t.mu.Lock()
+	if first, ok := t.slotFirst[seq]; ok {
+		t.SlotLatency.Observe(int64((at - first) / time.Microsecond))
+		delete(t.slotFirst, seq)
+		t.slotDone[seq] = struct{}{}
+	}
 	t.record(Event{At: at, Type: EvCommit, Node: node, View: view, Seq: seq})
 	t.mu.Unlock()
 }
@@ -314,6 +415,28 @@ func (t *Tracer) TimerFired(at time.Duration, node types.NodeID, name string, vi
 	}
 	t.mu.Lock()
 	t.record(Event{At: at, Type: EvTimer, Node: node, View: view, Seq: seq, Kind: name})
+	t.mu.Unlock()
+}
+
+// Submit records a client submitting a request — the root of that
+// request's span tree. The harness emits it at the instant of submission.
+func (t *Tracer) Submit(at time.Duration, client types.NodeID, key types.RequestKey) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.record(Event{At: at, Type: EvSubmit, Node: client, Client: key.Client, ClientSeq: key.ClientSeq})
+	t.mu.Unlock()
+}
+
+// Done records a client's request completing (enough matching replies),
+// closing that request's span tree.
+func (t *Tracer) Done(at time.Duration, client types.NodeID, key types.RequestKey) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.record(Event{At: at, Type: EvDone, Node: client, Client: key.Client, ClientSeq: key.ClientSeq})
 	t.mu.Unlock()
 }
 
@@ -356,14 +479,18 @@ func (t *Tracer) ObserveQueueDepth(n int) {
 	t.QueueDepth.Observe(int64(n))
 }
 
-// Events returns a copy of the captured event log.
+// Events returns a copy of the captured event log in chronological
+// order (unwrapping the ring when flight-recorder mode has wrapped).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
 }
 
 // DroppedEvents returns how many events overflowed MaxEvents.

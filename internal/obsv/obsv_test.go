@@ -24,6 +24,16 @@ type slottedMsg struct {
 
 func (m *slottedMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
+type keyedMsg struct {
+	fakeMsg
+	Client    types.NodeID
+	ClientSeq uint64
+}
+
+func (m *keyedMsg) RequestRef() types.RequestKey {
+	return types.RequestKey{Client: m.Client, ClientSeq: m.ClientSeq}
+}
+
 func TestPhaseClassification(t *testing.T) {
 	cases := map[string]string{
 		"PRE-PREPARE":        "pre-prepare",
@@ -74,7 +84,12 @@ func TestNilTracerIsSafe(t *testing.T) {
 	tr.CryptoOp(0, CryptoSign)
 	tr.ObserveCommitLatency(time.Millisecond)
 	tr.ObserveQueueDepth(3)
+	tr.Submit(0, 10001, types.RequestKey{Client: 10001, ClientSeq: 1})
+	tr.Done(0, 10001, types.RequestKey{Client: 10001, ClientSeq: 1})
 	tr.WriteSummary(&bytes.Buffer{})
+	if err := tr.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.WriteTrace(&bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
@@ -150,6 +165,72 @@ func TestEventCapDropsNotGrows(t *testing.T) {
 	}
 }
 
+func TestRingCaptureKeepsTail(t *testing.T) {
+	tr := New(Options{Events: true, Ring: true, MaxEvents: 4})
+	m := &fakeMsg{K: "PREPARE"}
+	for i := 0; i < 10; i++ {
+		tr.MsgSent(time.Duration(i)*time.Millisecond, 0, 1, m, 1)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, cap 4", len(evs))
+	}
+	// Flight-recorder semantics: the *last* 4 sends survive, oldest first.
+	// The first event is the phase-enter at t=0, evicted along with the
+	// early sends.
+	for i, e := range evs {
+		want := time.Duration(6+i) * time.Millisecond
+		if e.At != want || e.Type != EvSend {
+			t.Fatalf("ring event %d = %+v, want send at %v", i, e, want)
+		}
+	}
+	if tr.DroppedEvents() != 7 {
+		t.Fatalf("dropped = %d, want 7 (11 recorded, 4 kept)", tr.DroppedEvents())
+	}
+}
+
+func TestRequestKeyStamping(t *testing.T) {
+	tr := New(Options{Events: true})
+	req := &keyedMsg{fakeMsg: fakeMsg{K: "REQUEST"}, Client: 10001, ClientSeq: 5}
+	tr.Submit(0, 10001, types.RequestKey{Client: 10001, ClientSeq: 5})
+	tr.MsgSent(time.Millisecond, 10001, 0, req, 32)
+	tr.MsgDelivered(2*time.Millisecond, 10001, 0, req, 32)
+	tr.Done(3*time.Millisecond, 10001, types.RequestKey{Client: 10001, ClientSeq: 5})
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	wantTypes := []EventType{EvSubmit, EvSend, EvDeliver, EvDone}
+	for i, e := range evs {
+		if e.Type != wantTypes[i] {
+			t.Fatalf("event %d type = %v, want %v", i, e.Type, wantTypes[i])
+		}
+		if !e.HasRequest() || e.Client != 10001 || e.ClientSeq != 5 {
+			t.Fatalf("event %d missing request key: %+v", i, e)
+		}
+		if e.RequestKey() != (types.RequestKey{Client: 10001, ClientSeq: 5}) {
+			t.Fatalf("event %d RequestKey = %+v", i, e.RequestKey())
+		}
+	}
+}
+
+func TestSlotLatencyHistogram(t *testing.T) {
+	tr := New(Options{})
+	pp := &slottedMsg{fakeMsg{K: "PRE-PREPARE", View: 0, Seq: 9}}
+	tr.MsgSent(time.Millisecond, 0, 1, pp, 10)
+	tr.MsgSent(2*time.Millisecond, 0, 2, pp, 10) // later touch ignored
+	tr.Commit(5*time.Millisecond, 1, 0, 9)
+	tr.Commit(6*time.Millisecond, 2, 0, 9) // only first commit observed
+	if c := tr.SlotLatency.Count(); c != 1 {
+		t.Fatalf("slot-latency count = %d, want 1", c)
+	}
+	// first touch t=1ms, first commit t=5ms → 4000µs.
+	if m := tr.SlotLatency.Mean(); m != 4000 {
+		t.Fatalf("slot-latency mean = %f µs, want 4000", m)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram("t", "µs")
 	for i := int64(1); i <= 1000; i++ {
@@ -176,6 +257,80 @@ func TestHistogram(t *testing.T) {
 	empty.Observe(1) // nil-safe
 	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
 		t.Fatal("nil histogram misbehaved")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram("lat", "µs")
+	b := NewHistogram("lat", "µs")
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 10)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Max() != 1000 {
+		t.Fatalf("merged max = %d, want 1000", a.Max())
+	}
+	// Sum = 5050 + 50500; mean must be exact because Merge carries sums.
+	if m := a.Mean(); m != 55550.0/200 {
+		t.Fatalf("merged mean = %f", m)
+	}
+	// Bucket fidelity: a direct histogram of the same samples must match
+	// the merged one bucket-for-bucket.
+	direct := NewHistogram("lat", "µs")
+	for i := int64(1); i <= 100; i++ {
+		direct.Observe(i)
+		direct.Observe(i * 10)
+	}
+	if a.Snapshot().Buckets != direct.Snapshot().Buckets {
+		t.Fatal("merged buckets diverge from direct observation")
+	}
+	// b unchanged; nil merges are no-ops.
+	if b.Count() != 100 {
+		t.Fatalf("merge mutated source: count=%d", b.Count())
+	}
+	a.Merge(nil)
+	var nilH *Histogram
+	nilH.Merge(a)
+	if a.Count() != 200 {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	tr1 := New(Options{Label: "p"})
+	tr2 := New(Options{Label: "p"})
+	pp := &slottedMsg{fakeMsg{K: "PRE-PREPARE", View: 0, Seq: 1}}
+	tr1.MsgSent(time.Millisecond, 0, 1, pp, 64)
+	tr2.MsgDelivered(2*time.Millisecond, 0, 1, pp, 64)
+	tr1.ObserveCommitLatency(3 * time.Millisecond)
+	tr2.ObserveCommitLatency(5 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, tr1, tr2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE bftkit_phase_msgs_sent_total counter",
+		`bftkit_phase_msgs_sent_total{node="r0",phase="pre-prepare"} 1`,
+		`bftkit_phase_msgs_recv_total{node="r1",phase="pre-prepare"} 1`,
+		"# TYPE bftkit_commit_latency_microseconds histogram",
+		"bftkit_commit_latency_microseconds_count 2",
+		"bftkit_commit_latency_microseconds_sum 8000",
+		`bftkit_commit_latency_microseconds_bucket{le="+Inf"} 2`,
+		"bftkit_events_dropped_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and end at the total count.
+	if !strings.Contains(out, `bftkit_commit_latency_microseconds_bucket{le="8191"} 2`) {
+		t.Fatalf("cumulative bucket line missing:\n%s", out)
 	}
 }
 
@@ -232,5 +387,34 @@ func TestExporters(t *testing.T) {
 		if !strings.Contains(sum.String(), want) {
 			t.Fatalf("summary missing %q:\n%s", want, sum.String())
 		}
+	}
+}
+
+func TestTruncationSurfacedInAllExporters(t *testing.T) {
+	tr := New(Options{Label: "tr", Events: true, MaxEvents: 1})
+	m := &fakeMsg{K: "PREPARE"}
+	for i := 0; i < 5; i++ {
+		tr.MsgSent(0, 0, 1, m, 1)
+	}
+	if tr.DroppedEvents() == 0 {
+		t.Fatal("expected drops")
+	}
+
+	var trace, csv, sum bytes.Buffer
+	if err := tr.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	tr.WriteSummary(&sum)
+	if !strings.Contains(trace.String(), `"truncated_events":5`) {
+		t.Fatalf("trace missing truncation marker:\n%s", trace.String())
+	}
+	if !strings.Contains(csv.String(), "# run=tr truncated_events=5") {
+		t.Fatalf("csv missing truncation marker:\n%s", csv.String())
+	}
+	if !strings.Contains(sum.String(), "truncated events: 5") {
+		t.Fatalf("summary missing truncation marker:\n%s", sum.String())
 	}
 }

@@ -1,0 +1,173 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bftkit/internal/types"
+)
+
+// Prometheus text-exposition exporter. cmd/bftnode serves this from
+// -metrics-addr so a live deployment can be scraped instead of waiting
+// for the shutdown-only -stats dump. The power-of-two Histogram maps
+// directly onto a Prometheus histogram: bucket i's upper bound 2^i−1
+// becomes the `le` label and counts are made cumulative at render time.
+
+// promName builds a metric name from a histogram's name and unit:
+// "commit-latency"/"µs" → bftkit_commit_latency_microseconds.
+func promName(name, unit string) string {
+	n := "bftkit_" + strings.ReplaceAll(name, "-", "_")
+	switch unit {
+	case "µs":
+		return n + "_microseconds"
+	case "":
+		return n
+	default:
+		return n + "_" + strings.ReplaceAll(unit, "-", "_")
+	}
+}
+
+// writePromHistogram renders one snapshot as a Prometheus histogram.
+func writePromHistogram(w io.Writer, snap HistogramSnapshot) error {
+	name := promName(snap.Name, snap.Unit)
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	hi := 0
+	for i, c := range snap.Buckets {
+		if c > 0 {
+			hi = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= hi; i++ {
+		cum += snap.Buckets[i]
+		var upper int64
+		if i > 0 {
+			upper = int64(1)<<uint(i) - 1
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, upper, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, snap.Sum, name, snap.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// promCounters is the flattened (node, phase) counter table merged
+// across tracers, with deterministic ordering for golden tests.
+type promCounters struct {
+	keys  []promKey
+	stats map[promKey]*PhaseStat
+}
+
+type promKey struct {
+	node  types.NodeID
+	phase string
+}
+
+func gatherCounters(tracers []*Tracer) *promCounters {
+	pc := &promCounters{stats: make(map[promKey]*PhaseStat)}
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		for _, id := range t.Nodes() {
+			for phase, st := range t.NodePhase(id) {
+				k := promKey{node: id, phase: phase}
+				agg := pc.stats[k]
+				if agg == nil {
+					agg = &PhaseStat{}
+					pc.stats[k] = agg
+					pc.keys = append(pc.keys, k)
+				}
+				agg.add(st)
+			}
+		}
+	}
+	sort.Slice(pc.keys, func(i, j int) bool {
+		a, b := pc.keys[i], pc.keys[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.phase < b.phase
+	})
+	return pc
+}
+
+func writePromCounter(w io.Writer, name string, pc *promCounters, get func(*PhaseStat) int64) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+		return err
+	}
+	for _, k := range pc.keys {
+		if _, err := fmt.Fprintf(w, "%s{node=%q,phase=%q} %d\n", name, k.node.String(), k.phase, get(pc.stats[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProm renders one or more tracers' counters and histograms in
+// Prometheus text exposition format. Multiple tracers (one per node in
+// a local cluster) are merged: counters sum per (node, phase) cell and
+// histograms merge bucket-by-bucket (Histogram.Merge), so the scrape is
+// cluster-wide without losing fidelity.
+func WriteProm(w io.Writer, tracers ...*Tracer) error {
+	pc := gatherCounters(tracers)
+	counters := []struct {
+		name string
+		get  func(*PhaseStat) int64
+	}{
+		{"bftkit_phase_msgs_sent_total", func(s *PhaseStat) int64 { return s.MsgsSent }},
+		{"bftkit_phase_msgs_recv_total", func(s *PhaseStat) int64 { return s.MsgsRecv }},
+		{"bftkit_phase_bytes_sent_total", func(s *PhaseStat) int64 { return s.BytesSent }},
+		{"bftkit_phase_bytes_recv_total", func(s *PhaseStat) int64 { return s.BytesRecv }},
+		{"bftkit_phase_sign_total", func(s *PhaseStat) int64 { return s.Sign }},
+		{"bftkit_phase_verify_total", func(s *PhaseStat) int64 { return s.Verify }},
+		{"bftkit_phase_mac_total", func(s *PhaseStat) int64 { return s.MACSign }},
+		{"bftkit_phase_mac_verify_total", func(s *PhaseStat) int64 { return s.MACVerify }},
+	}
+	for _, c := range counters {
+		if err := writePromCounter(w, c.name, pc, c.get); err != nil {
+			return err
+		}
+	}
+
+	commit := NewHistogram("commit-latency", "µs")
+	slot := NewHistogram("slot-latency", "µs")
+	queue := NewHistogram("queue-depth", "msgs")
+	var dropped int64
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		commit.Merge(t.CommitLatency)
+		slot.Merge(t.SlotLatency)
+		queue.Merge(t.QueueDepth)
+		dropped += t.DroppedEvents()
+	}
+	for _, h := range []*Histogram{commit, slot, queue} {
+		if err := writePromHistogram(w, h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE bftkit_events_dropped_total counter\nbftkit_events_dropped_total %d\n", dropped); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteProm renders this tracer alone; see the package function.
+func (t *Tracer) WriteProm(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return WriteProm(w, t)
+}

@@ -1,0 +1,196 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bftkit/internal/obsv"
+)
+
+// Segment is one hop of a request's critical path: a contiguous slice of
+// the end-to-end latency attributed to one cause. Segments tile the
+// request's lifetime exactly — their durations sum to done − submit.
+type Segment struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_us"`
+	End   time.Duration `json:"end_us"`
+}
+
+// Dur returns the segment's duration.
+func (s Segment) Dur() time.Duration { return s.End - s.Start }
+
+// CriticalPath segments a completed request's end-to-end latency by the
+// first causal activity of each ordering phase: submit → first send of
+// ordering kind 1 is client delivery ("submit"), each ordering kind's
+// window runs until the next kind first activates, the last one until
+// the reply leaves, and the tail is reply delivery ("reply"). The hop
+// count between the bookends is the measured counterpart of the paper's
+// phases × δ good-case latency prediction: each ordering phase costs one
+// message delay, so in the good case hops == Profile.Phases.
+func (t *Tree) CriticalPath() []Segment {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	start, end := t.Root.Start, t.Root.End
+	if end <= start {
+		return nil
+	}
+
+	// Ordering hops: the protocol-phase children, by first activity.
+	// Client-phase kinds (REQUEST/FORWARD/REPLY) are the bookends, not
+	// hops; commit/execute markers overlap the last phase rather than
+	// extending the path (execution is off the reply path in most
+	// speculative protocols, and the reply send bounds it anyway).
+	var hops []*Span
+	var replyStart time.Duration = -1
+	for _, c := range t.Root.Children {
+		switch {
+		case c.Name == "commit" || c.Name == "execute":
+			continue
+		case obsv.IsProtocolPhase(obsv.PhaseOf(c.Name)):
+			if c.Start >= start && c.Start <= end {
+				hops = append(hops, c)
+			}
+		case obsv.PhaseOf(c.Name) == obsv.PhaseClient && c.Name != "REQUEST" && c.Name != "FORWARD":
+			// REPLY: the reply leaving the first replica starts the tail.
+			if replyStart < 0 || c.Start < replyStart {
+				replyStart = c.Start
+			}
+		}
+	}
+	sort.SliceStable(hops, func(i, j int) bool { return hops[i].Start < hops[j].Start })
+	if replyStart < start || replyStart > end {
+		replyStart = end
+	}
+
+	var segs []Segment
+	cur := start
+	push := func(name string, until time.Duration) {
+		if until < cur {
+			until = cur
+		}
+		if until > end {
+			until = end
+		}
+		segs = append(segs, Segment{Name: name, Start: cur, End: until})
+		cur = until
+	}
+	if len(hops) == 0 {
+		push("submit", replyStart)
+	} else {
+		push("submit", hops[0].Start)
+		for i, h := range hops {
+			next := replyStart
+			if i+1 < len(hops) && hops[i+1].Start < next {
+				next = hops[i+1].Start
+			}
+			push(h.Name, next)
+		}
+	}
+	push("reply", end)
+	return segs
+}
+
+// OrderingHops counts the ordering-phase segments on the critical path
+// (everything between the submit and reply bookends).
+func (t *Tree) OrderingHops() int {
+	segs := t.CriticalPath()
+	n := 0
+	for _, s := range segs {
+		if s.Name != "submit" && s.Name != "reply" {
+			n++
+		}
+	}
+	return n
+}
+
+// PhaseShare is one row of an attribution table: how much end-to-end
+// latency one critical-path segment name accounts for.
+type PhaseShare struct {
+	Name  string        `json:"name"`
+	Total time.Duration `json:"total_us"`
+	Count int           `json:"count"`
+}
+
+// Attribution aggregates critical paths across a forest: where did the
+// protocol's end-to-end latency go, phase by phase.
+type Attribution struct {
+	Label string `json:"label"`
+	// Requests counts the completed, attributed requests.
+	Requests int `json:"requests"`
+	// Hops is the modal ordering-hop count — the measured phase depth to
+	// compare against the profile's Phases (paper prediction: latency =
+	// phases × δ in the good case).
+	Hops int `json:"hops"`
+	// Phases is the per-segment latency attribution, ordered by first
+	// appearance on the earliest request's path.
+	Phases []PhaseShare `json:"phases"`
+	// Total is the summed end-to-end latency of attributed requests.
+	Total time.Duration `json:"total_us"`
+}
+
+// Attribute builds the forest's critical-path attribution table from
+// its completed trees.
+func (f *Forest) Attribute() *Attribution {
+	a := &Attribution{Label: f.Label}
+	shares := make(map[string]*PhaseShare)
+	var order []string
+	hopVotes := make(map[int]int)
+	for _, t := range f.Trees {
+		if !t.Done {
+			continue
+		}
+		segs := t.CriticalPath()
+		if len(segs) == 0 {
+			continue
+		}
+		a.Requests++
+		a.Total += t.Root.Dur()
+		hops := 0
+		for _, s := range segs {
+			sh := shares[s.Name]
+			if sh == nil {
+				sh = &PhaseShare{Name: s.Name}
+				shares[s.Name] = sh
+				order = append(order, s.Name)
+			}
+			sh.Total += s.Dur()
+			sh.Count++
+			if s.Name != "submit" && s.Name != "reply" {
+				hops++
+			}
+		}
+		hopVotes[hops]++
+	}
+	for _, name := range order {
+		a.Phases = append(a.Phases, *shares[name])
+	}
+	best, bestVotes := 0, 0
+	for h, v := range hopVotes {
+		if v > bestVotes || (v == bestVotes && h < best) {
+			best, bestVotes = h, v
+		}
+	}
+	a.Hops = best
+	return a
+}
+
+// WriteTable renders the attribution as an aligned text table.
+func (a *Attribution) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "critical-path attribution [%s] requests=%d hops=%d\n", a.Label, a.Requests, a.Hops)
+	if a.Requests == 0 {
+		return
+	}
+	for _, p := range a.Phases {
+		mean := time.Duration(0)
+		if p.Count > 0 {
+			mean = p.Total / time.Duration(p.Count)
+		}
+		share := float64(p.Total) / float64(a.Total) * 100
+		fmt.Fprintf(w, "  %-18s %6.1f%%  mean=%-12v on %d paths\n", p.Name, share, mean, p.Count)
+	}
+	fmt.Fprintf(w, "  %-18s %6.1f%%  mean=%v\n", "total", 100.0,
+		a.Total/time.Duration(a.Requests))
+}

@@ -1,0 +1,166 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"bftkit/internal/obsv"
+	"bftkit/internal/types"
+)
+
+// Chrome/Perfetto trace_event exporter: renders a run as a JSON object
+// loadable in ui.perfetto.dev or chrome://tracing. Layout:
+//
+//   - pid 1 "nodes": one thread per node; "X" slices for phase occupancy
+//     (between phase-enter events), "i" instants for commits, executes,
+//     view changes and timers.
+//   - pid 2 "transactions": one async lane per request ("b"/"e" nestable
+//     events keyed by the request id), children nested inside, so
+//     overlapping pipelined requests render as parallel lanes.
+//
+// Timestamps are microseconds of virtual (sim) or wall (transport) time.
+
+const (
+	perfettoPidNodes = 1
+	perfettoPidTxns  = 2
+)
+
+// traceEvent is one trace_event entry; fields follow the Chrome trace
+// format spec (omitted fields are dropped from the JSON).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func sortNodeIDs(ids []types.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// tidOf maps a node to a stable thread id (tid 0 is reserved).
+func tidOf(id types.NodeID) int { return int(id) + 1 }
+
+// WritePerfetto renders the tracer's run — raw events for the node
+// timelines plus the reconstructed forest for the transaction lanes —
+// as trace_event JSON.
+func WritePerfetto(w io.Writer, tr *obsv.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	return writePerfetto(w, tr.Label(), tr.Events(), Build(tr))
+}
+
+func writePerfetto(w io.Writer, label string, events []obsv.Event, f *Forest) error {
+	var out []traceEvent
+	meta := func(pid, tid int, kind, name string) {
+		out = append(out, traceEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(perfettoPidNodes, 0, "process_name", "nodes "+label)
+	meta(perfettoPidTxns, 0, "process_name", "transactions")
+
+	// Node timelines: phase-occupancy slices between phase-enter events
+	// plus instants. Nodes are named lazily on first sight, in event
+	// order (deterministic: the tracer log is ordered).
+	type open struct {
+		phase string
+		since time.Duration
+	}
+	phases := make(map[types.NodeID]*open)
+	seen := make(map[types.NodeID]bool)
+	var last time.Duration
+	note := func(id types.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			meta(perfettoPidNodes, tidOf(id), "thread_name", id.String())
+		}
+	}
+	closeSlice := func(id types.NodeID, until time.Duration) {
+		if o := phases[id]; o != nil && until > o.since {
+			out = append(out, traceEvent{
+				Name: o.phase, Ph: "X", Ts: us(o.since), Dur: us(until - o.since),
+				Pid: perfettoPidNodes, Tid: tidOf(id), Cat: "phase",
+			})
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		if e.At > last {
+			last = e.At
+		}
+		switch e.Type {
+		case obsv.EvPhaseEnter:
+			note(e.Node)
+			closeSlice(e.Node, e.At)
+			phases[e.Node] = &open{phase: e.Phase, since: e.At}
+		case obsv.EvCommit, obsv.EvExecute, obsv.EvViewChange, obsv.EvTimer:
+			note(e.Node)
+			name := e.Type.String()
+			if e.Kind != "" {
+				name = e.Kind
+			}
+			out = append(out, traceEvent{
+				Name: name, Ph: "i", Ts: us(e.At), S: "t",
+				Pid: perfettoPidNodes, Tid: tidOf(e.Node), Cat: e.Type.String(),
+				Args: map[string]any{"view": uint64(e.View), "seq": uint64(e.Seq)},
+			})
+		}
+	}
+	ids := make([]types.NodeID, 0, len(phases))
+	for id := range phases {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		closeSlice(id, last)
+	}
+
+	// Transaction lanes: nestable async begin/end pairs per tree, with
+	// children nested by timestamp inside the same id.
+	for _, t := range f.Trees {
+		id := t.Key.Client.String() + "#" + strconv.FormatUint(t.Key.ClientSeq, 10)
+		args := map[string]any{
+			"client": t.Key.Client.String(), "client_seq": t.Key.ClientSeq,
+			"view": uint64(t.View), "seq": uint64(t.Seq), "done": t.Done,
+		}
+		out = append(out, traceEvent{
+			Name: t.Root.Name, Ph: "b", Ts: us(t.Root.Start),
+			Pid: perfettoPidTxns, ID: id, Cat: "txn", Args: args,
+		})
+		for _, c := range t.Root.Children {
+			out = append(out, traceEvent{
+				Name: c.Name, Ph: "b", Ts: us(c.Start),
+				Pid: perfettoPidTxns, ID: id, Cat: "txn",
+				Args: map[string]any{"events": c.Events},
+			})
+			out = append(out, traceEvent{
+				Name: c.Name, Ph: "e", Ts: us(c.End),
+				Pid: perfettoPidTxns, ID: id, Cat: "txn",
+			})
+		}
+		out = append(out, traceEvent{
+			Name: t.Root.Name, Ph: "e", Ts: us(t.Root.End),
+			Pid: perfettoPidTxns, ID: id, Cat: "txn",
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

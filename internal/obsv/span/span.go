@@ -1,0 +1,388 @@
+// Package span reconstructs request-scoped causal span trees from the
+// flat obsv event stream. The tracer records what happened (sends,
+// delivers, commits, executes, client submit/done) stamped with causal
+// coordinates — (view, seq) from Slotted messages, (client, clientSeq)
+// from Keyed ones — and this package stitches those streams back into
+// one tree per transaction: client submit → ordering phases → commit →
+// execute → reply. Correlation is entirely offline, so every protocol
+// the harness runs gets span trees without wire changes.
+//
+// The REPLY message is the join point: it is both Keyed (which request)
+// and Slotted (which consensus slot ordered it), linking the client's
+// request episode to the slot's ordering traffic. Protocols without a
+// global slot on the wire (Q/U's client-driven quorum protocol) fall
+// back to episode trees bounded by the submit/done events, grouping the
+// client's own traffic by message kind.
+package span
+
+import (
+	"sort"
+	"time"
+
+	"bftkit/internal/obsv"
+	"bftkit/internal/types"
+)
+
+// Span is one timed segment of a request's lifecycle. Start/End are
+// virtual-time offsets from the run's origin.
+type Span struct {
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_us"`
+	End    time.Duration `json:"end_us"`
+	Events int           `json:"events"`
+	// Children are sub-segments, ordered by start time.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Dur returns the span's duration.
+func (s *Span) Dur() time.Duration { return s.End - s.Start }
+
+// Tree is one request's reconstructed span tree.
+type Tree struct {
+	Key    types.RequestKey `json:"key"`
+	Client types.NodeID     `json:"client"`
+	// View/Seq are the consensus coordinates the request was linked to
+	// via a Keyed+Slotted message (REPLY); Seq 0 means the request could
+	// not be linked and the tree is a client episode.
+	View types.View   `json:"view"`
+	Seq  types.SeqNum `json:"seq"`
+	Done bool         `json:"done"`
+	Root *Span        `json:"root"`
+}
+
+// Forest is every reconstructed tree of one run.
+type Forest struct {
+	Label string  `json:"label"`
+	Trees []*Tree `json:"trees"`
+	// UnlinkedSlots counts consensus slots that saw ordering traffic but
+	// were never tied to a request (heartbeats, view-change refills).
+	UnlinkedSlots int `json:"unlinked_slots"`
+}
+
+// kindWindow aggregates one message kind's activity on one slot.
+type kindWindow struct {
+	kind        string
+	firstSend   time.Duration
+	lastSend    time.Duration
+	firstDeliv  time.Duration
+	lastDeliv   time.Duration
+	sends       int
+	delivs      int
+	hasSend     bool
+	hasDeliv    bool
+	firstSeenAt time.Duration // ordering key: first event of either type
+}
+
+func (k *kindWindow) observe(e *obsv.Event) {
+	switch e.Type {
+	case obsv.EvSend:
+		if !k.hasSend || e.At < k.firstSend {
+			k.firstSend = e.At
+		}
+		if e.At > k.lastSend {
+			k.lastSend = e.At
+		}
+		k.hasSend = true
+		k.sends++
+	case obsv.EvDeliver:
+		if !k.hasDeliv || e.At < k.firstDeliv {
+			k.firstDeliv = e.At
+		}
+		if e.At > k.lastDeliv {
+			k.lastDeliv = e.At
+		}
+		k.hasDeliv = true
+		k.delivs++
+	}
+	if k.sends+k.delivs == 1 {
+		k.firstSeenAt = e.At
+	}
+}
+
+func (k *kindWindow) start() time.Duration {
+	if k.hasSend {
+		return k.firstSend
+	}
+	return k.firstDeliv
+}
+
+func (k *kindWindow) end() time.Duration {
+	if k.hasDeliv && k.lastDeliv > k.lastSend {
+		return k.lastDeliv
+	}
+	return k.lastSend
+}
+
+// slotRec is everything observed about one consensus slot.
+type slotRec struct {
+	seq         types.SeqNum
+	kinds       map[string]*kindWindow
+	firstCommit time.Duration
+	lastCommit  time.Duration
+	commits     int
+	firstExec   time.Duration
+	lastExec    time.Duration
+	execs       int
+	linked      bool
+}
+
+// reqRec is everything observed about one request.
+type reqRec struct {
+	key      types.RequestKey
+	client   types.NodeID
+	submitAt time.Duration
+	doneAt   time.Duration
+	hasSub   bool
+	hasDone  bool
+	view     types.View
+	seq      types.SeqNum
+
+	// Client-phase traffic carrying this request's key, grouped by kind
+	// (REQUEST, FORWARD, REPLY — plus keyed protocol messages).
+	kinds map[string]*kindWindow
+}
+
+// Build reconstructs the span forest from a tracer's captured events.
+// Events must be in capture order (what Tracer.Events returns).
+func Build(tr *obsv.Tracer) *Forest {
+	if tr == nil {
+		return &Forest{}
+	}
+	return BuildEvents(tr.Label(), tr.Events())
+}
+
+// BuildEvents is Build on a raw event slice.
+func BuildEvents(label string, events []obsv.Event) *Forest {
+	slots := make(map[types.SeqNum]*slotRec)
+	reqs := make(map[types.RequestKey]*reqRec)
+	var reqOrder []types.RequestKey
+	// episodes holds, per client, the protocol traffic that touches that
+	// client — the fallback correlator for protocols with no slot link.
+	episodes := make(map[types.NodeID][]obsv.Event)
+
+	slot := func(seq types.SeqNum) *slotRec {
+		s := slots[seq]
+		if s == nil {
+			s = &slotRec{seq: seq, kinds: make(map[string]*kindWindow)}
+			slots[seq] = s
+		}
+		return s
+	}
+	req := func(key types.RequestKey) *reqRec {
+		r := reqs[key]
+		if r == nil {
+			r = &reqRec{key: key, client: key.Client, kinds: make(map[string]*kindWindow)}
+			reqs[key] = r
+			reqOrder = append(reqOrder, key)
+		}
+		return r
+	}
+
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case obsv.EvSubmit:
+			r := req(e.RequestKey())
+			if !r.hasSub || e.At < r.submitAt {
+				r.submitAt = e.At
+				r.hasSub = true
+			}
+		case obsv.EvDone:
+			r := req(e.RequestKey())
+			if !r.hasDone || e.At < r.doneAt {
+				r.doneAt = e.At
+				r.hasDone = true
+			}
+		case obsv.EvSend, obsv.EvDeliver:
+			if e.HasRequest() {
+				r := req(e.RequestKey())
+				kw := r.kinds[e.Kind]
+				if kw == nil {
+					kw = &kindWindow{kind: e.Kind}
+					r.kinds[e.Kind] = kw
+				}
+				kw.observe(e)
+				// A message carrying both coordinates (REPLY) links the
+				// request to its consensus slot; first link wins.
+				if e.Seq != 0 && r.seq == 0 {
+					r.seq = e.Seq
+					r.view = e.View
+				}
+			}
+			if e.Seq != 0 && obsv.IsProtocolPhase(e.Phase) {
+				s := slot(e.Seq)
+				kw := s.kinds[e.Kind]
+				if kw == nil {
+					kw = &kindWindow{kind: e.Kind}
+					s.kinds[e.Kind] = kw
+				}
+				kw.observe(e)
+			}
+			if !e.HasRequest() && obsv.IsProtocolPhase(e.Phase) && e.Seq == 0 {
+				// Slotless protocol traffic (Q/U): remember it against the
+				// client endpoint it touches for episode reconstruction.
+				if e.Node >= types.ClientIDBase {
+					episodes[e.Node] = append(episodes[e.Node], *e)
+				} else if e.Peer >= types.ClientIDBase {
+					episodes[e.Peer] = append(episodes[e.Peer], *e)
+				}
+			}
+		case obsv.EvCommit:
+			s := slot(e.Seq)
+			if s.commits == 0 || e.At < s.firstCommit {
+				s.firstCommit = e.At
+			}
+			if e.At > s.lastCommit {
+				s.lastCommit = e.At
+			}
+			s.commits++
+		case obsv.EvExecute:
+			s := slot(e.Seq)
+			if s.execs == 0 || e.At < s.firstExec {
+				s.firstExec = e.At
+			}
+			if e.At > s.lastExec {
+				s.lastExec = e.At
+			}
+			s.execs++
+		}
+	}
+
+	f := &Forest{Label: label}
+	for _, key := range reqOrder {
+		r := reqs[key]
+		if !r.hasSub && len(r.kinds) == 0 {
+			continue
+		}
+		t := buildTree(r, slots, episodes)
+		if t != nil {
+			f.Trees = append(f.Trees, t)
+		}
+	}
+	// Deterministic order: by root start, then client, then client seq.
+	sort.SliceStable(f.Trees, func(i, j int) bool {
+		a, b := f.Trees[i], f.Trees[j]
+		if a.Root.Start != b.Root.Start {
+			return a.Root.Start < b.Root.Start
+		}
+		if a.Key.Client != b.Key.Client {
+			return a.Key.Client < b.Key.Client
+		}
+		return a.Key.ClientSeq < b.Key.ClientSeq
+	})
+	for _, s := range slots {
+		if !s.linked && len(s.kinds) > 0 {
+			f.UnlinkedSlots++
+		}
+	}
+	return f
+}
+
+// buildTree assembles one request's tree from its own keyed traffic plus
+// the ordering traffic of its linked slot (or its client episode).
+func buildTree(r *reqRec, slots map[types.SeqNum]*slotRec, episodes map[types.NodeID][]obsv.Event) *Tree {
+	t := &Tree{Key: r.key, Client: r.client, View: r.view, Seq: r.seq, Done: r.hasDone}
+
+	start := r.submitAt
+	if !r.hasSub {
+		// No submit event (live transport feed): fall back to the first
+		// keyed message.
+		first := time.Duration(-1)
+		for _, kw := range r.kinds {
+			if first < 0 || kw.start() < first {
+				first = kw.start()
+			}
+		}
+		if first < 0 {
+			return nil
+		}
+		start = first
+	}
+	end := r.doneAt
+	if !r.hasDone {
+		for _, kw := range r.kinds {
+			if kw.end() > end {
+				end = kw.end()
+			}
+		}
+	}
+	if end < start {
+		end = start
+	}
+	t.Root = &Span{Name: "request " + r.key.Client.String(), Start: start, End: end}
+
+	var children []*Span
+	addKind := func(kw *kindWindow) {
+		children = append(children, &Span{
+			Name:   kw.kind,
+			Start:  kw.start(),
+			End:    kw.end(),
+			Events: kw.sends + kw.delivs,
+		})
+	}
+
+	// Client-side keyed traffic (REQUEST/FORWARD/REPLY and keyed
+	// protocol messages), one child per kind.
+	for _, kind := range sortedKinds(r.kinds) {
+		addKind(r.kinds[kind])
+	}
+
+	if s := slots[r.seq]; r.seq != 0 && s != nil {
+		s.linked = true
+		for _, kind := range sortedKinds(s.kinds) {
+			if r.kinds[kind] != nil {
+				continue // keyed+slotted kinds already added above
+			}
+			addKind(s.kinds[kind])
+		}
+		if s.commits > 0 {
+			children = append(children, &Span{Name: "commit", Start: s.firstCommit, End: s.lastCommit, Events: s.commits})
+		}
+		if s.execs > 0 {
+			children = append(children, &Span{Name: "execute", Start: s.firstExec, End: s.lastExec, Events: s.execs})
+		}
+	} else if r.seq == 0 {
+		// Episode fallback: under the closed-loop single-outstanding
+		// client model, every protocol event touching this client inside
+		// [start, end] belongs to this request.
+		kinds := make(map[string]*kindWindow)
+		for _, e := range episodes[r.client] {
+			if e.At < start || e.At > end {
+				continue
+			}
+			kw := kinds[e.Kind]
+			if kw == nil {
+				kw = &kindWindow{kind: e.Kind}
+				kinds[e.Kind] = kw
+			}
+			kw.observe(&e)
+		}
+		for _, kind := range sortedKinds(kinds) {
+			addKind(kinds[kind])
+		}
+	}
+
+	sort.SliceStable(children, func(i, j int) bool {
+		if children[i].Start != children[j].Start {
+			return children[i].Start < children[j].Start
+		}
+		return children[i].Name < children[j].Name
+	})
+	t.Root.Children = children
+	return t
+}
+
+func sortedKinds(m map[string]*kindWindow) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := m[out[i]], m[out[j]]
+		if a.firstSeenAt != b.firstSeenAt {
+			return a.firstSeenAt < b.firstSeenAt
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

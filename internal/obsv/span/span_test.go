@@ -1,0 +1,249 @@
+package span
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bftkit/internal/obsv"
+	"bftkit/internal/types"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+type protoMsg struct {
+	K    string
+	View types.View
+	Seq  types.SeqNum
+}
+
+func (m *protoMsg) Kind() string                     { return m.K }
+func (m *protoMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
+type clientMsg struct {
+	K    string
+	View types.View
+	Seq  types.SeqNum
+	Key  types.RequestKey
+}
+
+func (m *clientMsg) Kind() string                     { return m.K }
+func (m *clientMsg) RequestRef() types.RequestKey     { return m.Key }
+func (m *clientMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
+// pbftLikeTracer replays one request through a miniature three-phase
+// protocol with exact timestamps, the fixture every test here shares.
+func pbftLikeTracer() *obsv.Tracer {
+	tr := obsv.New(obsv.Options{Label: "pbft-like", Events: true})
+	client := types.NodeID(types.ClientIDBase)
+	key := types.RequestKey{Client: client, ClientSeq: 1}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	req := &clientMsg{K: "REQUEST", Key: key}
+	pp := &protoMsg{K: "PRE-PREPARE", View: 0, Seq: 1}
+	prep := &protoMsg{K: "PREPARE", View: 0, Seq: 1}
+	com := &protoMsg{K: "COMMIT", View: 0, Seq: 1}
+	reply := &clientMsg{K: "REPLY", View: 0, Seq: 1, Key: key}
+
+	tr.Submit(ms(0), client, key)
+	tr.MsgSent(ms(0), client, 0, req, 64)
+	tr.MsgDelivered(ms(1), client, 0, req, 64)
+	tr.MsgSent(ms(1), 0, 1, pp, 128)
+	tr.MsgSent(ms(1), 0, 2, pp, 128)
+	tr.MsgDelivered(ms(2), 0, 1, pp, 128)
+	tr.MsgDelivered(ms(2), 0, 2, pp, 128)
+	tr.MsgSent(ms(2), 1, 0, prep, 96)
+	tr.MsgSent(ms(2), 2, 0, prep, 96)
+	tr.MsgDelivered(ms(3), 1, 0, prep, 96)
+	tr.MsgDelivered(ms(3), 2, 0, prep, 96)
+	tr.MsgSent(ms(3), 0, 1, com, 96)
+	tr.MsgSent(ms(3), 1, 0, com, 96)
+	tr.MsgDelivered(ms(4), 0, 1, com, 96)
+	tr.MsgDelivered(ms(4), 1, 0, com, 96)
+	tr.Commit(ms(4), 0, 0, 1)
+	tr.Commit(ms(4), 1, 0, 1)
+	tr.Execute(ms(4), 0, 1)
+	tr.Execute(ms(4), 1, 1)
+	tr.MsgSent(ms(4), 0, client, reply, 48)
+	tr.MsgSent(ms(4), 1, client, reply, 48)
+	tr.MsgDelivered(ms(5), 0, client, reply, 48)
+	tr.MsgDelivered(ms(5), 1, client, reply, 48)
+	tr.Done(ms(5), client, key)
+	return tr
+}
+
+func TestBuildLinksRequestToSlot(t *testing.T) {
+	f := Build(pbftLikeTracer())
+	if len(f.Trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(f.Trees))
+	}
+	tree := f.Trees[0]
+	if !tree.Done || tree.Seq != 1 {
+		t.Fatalf("tree = done:%v seq:%d, want done seq 1", tree.Done, tree.Seq)
+	}
+	if tree.Root.Start != 0 || tree.Root.End != 5*time.Millisecond {
+		t.Fatalf("root window = [%v, %v]", tree.Root.Start, tree.Root.End)
+	}
+	want := map[string]bool{
+		"REQUEST": false, "PRE-PREPARE": false, "PREPARE": false,
+		"COMMIT": false, "REPLY": false, "commit": false, "execute": false,
+	}
+	for _, c := range tree.Root.Children {
+		if _, ok := want[c.Name]; !ok {
+			t.Fatalf("unexpected child %q", c.Name)
+		}
+		want[c.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("missing child span %q (children: %v)", name, names(tree.Root.Children))
+		}
+	}
+	if f.UnlinkedSlots != 0 {
+		t.Fatalf("unlinked slots = %d", f.UnlinkedSlots)
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestCriticalPathTilesLatency(t *testing.T) {
+	f := Build(pbftLikeTracer())
+	tree := f.Trees[0]
+	segs := tree.CriticalPath()
+	if len(segs) == 0 {
+		t.Fatal("no critical path")
+	}
+	if segs[0].Name != "submit" || segs[len(segs)-1].Name != "reply" {
+		t.Fatalf("bookends = %q .. %q", segs[0].Name, segs[len(segs)-1].Name)
+	}
+	// Segments must tile [start, end] exactly.
+	cur := tree.Root.Start
+	var sum time.Duration
+	for _, s := range segs {
+		if s.Start != cur {
+			t.Fatalf("gap before %q: have %v, want %v", s.Name, s.Start, cur)
+		}
+		cur = s.End
+		sum += s.Dur()
+	}
+	if cur != tree.Root.End || sum != tree.Root.Dur() {
+		t.Fatalf("path covers %v of %v", sum, tree.Root.Dur())
+	}
+	// Three ordering phases on the path — the paper's phases × δ shape.
+	if hops := tree.OrderingHops(); hops != 3 {
+		t.Fatalf("ordering hops = %d, want 3 (pre-prepare, prepare, commit)", hops)
+	}
+}
+
+func TestAttributionAggregates(t *testing.T) {
+	f := Build(pbftLikeTracer())
+	a := f.Attribute()
+	if a.Requests != 1 || a.Hops != 3 {
+		t.Fatalf("attribution = %d requests, %d hops", a.Requests, a.Hops)
+	}
+	var sum time.Duration
+	for _, p := range a.Phases {
+		sum += p.Total
+	}
+	if sum != a.Total || a.Total != 5*time.Millisecond {
+		t.Fatalf("attributed %v of %v", sum, a.Total)
+	}
+	var buf bytes.Buffer
+	a.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty attribution table")
+	}
+}
+
+func TestEpisodeFallbackForSlotlessProtocols(t *testing.T) {
+	// A Q/U-style exchange: slotless, keyless quorum messages between the
+	// client and replicas, bracketed by submit/done.
+	tr := obsv.New(obsv.Options{Label: "qu-like", Events: true})
+	client := types.NodeID(types.ClientIDBase)
+	key := types.RequestKey{Client: client, ClientSeq: 3}
+	q := &protoMsg{K: "QU-QUERY"}
+	qr := &protoMsg{K: "QU-QUERY-RESP"}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	tr.Submit(ms(0), client, key)
+	tr.MsgSent(ms(0), client, 0, q, 32)
+	tr.MsgSent(ms(0), client, 1, q, 32)
+	tr.MsgDelivered(ms(1), client, 0, q, 32)
+	tr.MsgDelivered(ms(1), client, 1, q, 32)
+	tr.MsgSent(ms(1), 0, client, qr, 40)
+	tr.MsgSent(ms(1), 1, client, qr, 40)
+	tr.MsgDelivered(ms(2), 0, client, qr, 40)
+	tr.MsgDelivered(ms(2), 1, client, qr, 40)
+	tr.Done(ms(2), client, key)
+
+	f := Build(tr)
+	if len(f.Trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(f.Trees))
+	}
+	tree := f.Trees[0]
+	if tree.Seq != 0 || !tree.Done {
+		t.Fatalf("episode tree = seq:%d done:%v", tree.Seq, tree.Done)
+	}
+	got := names(tree.Root.Children)
+	if len(got) != 2 || got[0] != "QU-QUERY" || got[1] != "QU-QUERY-RESP" {
+		t.Fatalf("episode children = %v", got)
+	}
+	// Episode hops still measure phase depth for client-driven protocols.
+	if hops := tree.OrderingHops(); hops != 2 {
+		t.Fatalf("episode hops = %d, want 2", hops)
+	}
+}
+
+func TestBuildNilAndEmpty(t *testing.T) {
+	if f := Build(nil); f == nil || len(f.Trees) != 0 {
+		t.Fatal("nil tracer must yield an empty forest")
+	}
+	if f := BuildEvents("x", nil); f == nil || len(f.Trees) != 0 {
+		t.Fatal("no events must yield an empty forest")
+	}
+	var empty *Tree
+	if empty.CriticalPath() != nil {
+		t.Fatal("nil tree critical path")
+	}
+}
+
+func TestGoldenPerfetto(t *testing.T) {
+	tr := pbftLikeTracer()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "perfetto.json", buf.Bytes())
+}
+
+// checkGolden compares output against testdata/<name>, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output diverges from %s (re-run with -update after verifying)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

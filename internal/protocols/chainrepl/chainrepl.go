@@ -48,6 +48,9 @@ type Hop struct {
 // Kind implements types.Message.
 func (*ChainMsg) Kind() string { return "CHAIN" }
 
+// Slot implements obsv.Slotted.
+func (m *ChainMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 func slotDigest(v types.View, seq types.SeqNum, d types.Digest) types.Digest {
 	var h types.Hasher
 	h.Str("chain-slot").U64(uint64(v)).U64(uint64(seq)).Digest(d)
@@ -66,6 +69,9 @@ type CommitNoticeMsg struct {
 
 // Kind implements types.Message.
 func (*CommitNoticeMsg) Kind() string { return "CHAIN-COMMIT" }
+
+// Slot implements obsv.Slotted.
+func (m *CommitNoticeMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // SigDigest is the signed content.
 func (m *CommitNoticeMsg) SigDigest() types.Digest {

@@ -39,6 +39,9 @@ type ProposeMsg struct {
 // Kind implements types.Message.
 func (*ProposeMsg) Kind() string { return "CHEAP-PROPOSE" }
 
+// Slot implements obsv.Slotted.
+func (m *ProposeMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *ProposeMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -58,6 +61,9 @@ type VoteMsg struct {
 // Kind implements types.Message.
 func (*VoteMsg) Kind() string { return "CHEAP-VOTE" }
 
+// Slot implements obsv.Slotted.
+func (m *VoteMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *VoteMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -76,6 +82,9 @@ type UpdateMsg struct {
 
 // Kind implements types.Message.
 func (*UpdateMsg) Kind() string { return "CHEAP-UPDATE" }
+
+// Slot implements obsv.Slotted.
+func (m *UpdateMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // SigDigest is the signed content.
 func (m *UpdateMsg) SigDigest() types.Digest {

@@ -29,6 +29,9 @@ type ProposeMsg struct {
 // Kind implements types.Message.
 func (*ProposeMsg) Kind() string { return "FAB-PROPOSE" }
 
+// Slot implements obsv.Slotted.
+func (m *ProposeMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *ProposeMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -48,6 +51,9 @@ type AcceptMsg struct {
 
 // Kind implements types.Message.
 func (*AcceptMsg) Kind() string { return "FAB-ACCEPT" }
+
+// Slot implements obsv.Slotted.
+func (m *AcceptMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // SigDigest is the signed content.
 func (m *AcceptMsg) SigDigest() types.Digest {

@@ -49,6 +49,9 @@ type ProposalMsg struct {
 // Kind implements types.Message.
 func (*ProposalMsg) Kind() string { return "KAURI-PROPOSE" }
 
+// Slot implements obsv.Slotted.
+func (m *ProposalMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *ProposalMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -70,6 +73,9 @@ type AggrMsg struct {
 // Kind implements types.Message.
 func (m *AggrMsg) Kind() string { return "KAURI-AGGR-" + m.Stage }
 
+// Slot implements obsv.Slotted.
+func (m *AggrMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // CertMsg flows a completed certificate down the tree. Stage "prepare"
 // starts the commit round; stage "commit" commits the slot.
 type CertMsg struct {
@@ -83,6 +89,9 @@ type CertMsg struct {
 
 // Kind implements types.Message.
 func (m *CertMsg) Kind() string { return "KAURI-CERT-" + m.Stage }
+
+// Slot implements obsv.Slotted.
+func (m *CertMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // EncodedSize implements sim.Sizer (threshold certificates are constant).
 func (m *CertMsg) EncodedSize() int {

@@ -38,6 +38,9 @@ type ProposeMsg struct {
 // Kind implements types.Message.
 func (*ProposeMsg) Kind() string { return "POE-PROPOSE" }
 
+// Slot implements obsv.Slotted.
+func (m *ProposeMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *ProposeMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -63,6 +66,9 @@ type ShareMsg struct {
 // Kind implements types.Message.
 func (*ShareMsg) Kind() string { return "POE-SHARE" }
 
+// Slot implements obsv.Slotted.
+func (m *ShareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // CertifyMsg broadcasts the 2f+1 certificate; replicas execute
 // speculatively on receipt (phase 3, linear).
 type CertifyMsg struct {
@@ -75,6 +81,9 @@ type CertifyMsg struct {
 
 // Kind implements types.Message.
 func (*CertifyMsg) Kind() string { return "POE-CERTIFY" }
+
+// Slot implements obsv.Slotted.
+func (m *CertifyMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // EncodedSize implements sim.Sizer (threshold certificates stay constant).
 func (m *CertifyMsg) EncodedSize() int {

@@ -46,6 +46,12 @@ type AppendEntriesMsg struct {
 // Kind implements types.Message.
 func (*AppendEntriesMsg) Kind() string { return "APPEND-ENTRIES" }
 
+// Slot implements obsv.Slotted: the first appended index (heartbeats
+// stamp the slot after the last replicated one).
+func (m *AppendEntriesMsg) Slot() (types.View, types.SeqNum) {
+	return types.View(m.Term), m.PrevIndex + 1
+}
+
 // AppendRespMsg acknowledges (or rejects) an append.
 type AppendRespMsg struct {
 	Term    uint64
@@ -57,6 +63,9 @@ type AppendRespMsg struct {
 
 // Kind implements types.Message.
 func (*AppendRespMsg) Kind() string { return "APPEND-RESP" }
+
+// Slot implements obsv.Slotted.
+func (m *AppendRespMsg) Slot() (types.View, types.SeqNum) { return types.View(m.Term), m.Match }
 
 // RequestVoteMsg solicits an election vote.
 type RequestVoteMsg struct {

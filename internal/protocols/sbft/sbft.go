@@ -45,6 +45,9 @@ type PrePrepareMsg struct {
 // Kind implements types.Message.
 func (*PrePrepareMsg) Kind() string { return "SBFT-PRE-PREPARE" }
 
+// Slot implements obsv.Slotted.
+func (m *PrePrepareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *PrePrepareMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -73,6 +76,9 @@ type ShareMsg struct {
 // Kind implements types.Message.
 func (m *ShareMsg) Kind() string { return "SBFT-SHARE-" + m.Stage }
 
+// Slot implements obsv.Slotted.
+func (m *ShareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // ProofMsg broadcasts a collector certificate. Stage is "prepare" (slow
 // path, 2f+1 sign shares), "commit" (slow path, 2f+1 commit shares) or
 // "fast-commit" (fast path, all 3f+1 sign shares).
@@ -87,6 +93,9 @@ type ProofMsg struct {
 
 // Kind implements types.Message.
 func (m *ProofMsg) Kind() string { return "SBFT-PROOF-" + m.Stage }
+
+// Slot implements obsv.Slotted.
+func (m *ProofMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // EncodedSize implements sim.Sizer so the threshold model holds.
 func (m *ProofMsg) EncodedSize() int {

@@ -48,6 +48,9 @@ type ProposalMsg struct {
 // Kind implements types.Message.
 func (*ProposalMsg) Kind() string { return "PROPOSAL" }
 
+// Slot implements obsv.Slotted; Tendermint's round plays the view role.
+func (m *ProposalMsg) Slot() (types.View, types.SeqNum) { return types.View(m.Round), m.Height }
+
 // SigDigest is the signed content.
 func (m *ProposalMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -67,6 +70,9 @@ type VoteMsg struct {
 
 // Kind implements types.Message.
 func (m *VoteMsg) Kind() string { return m.Type }
+
+// Slot implements obsv.Slotted.
+func (m *VoteMsg) Slot() (types.View, types.SeqNum) { return types.View(m.Round), m.Height }
 
 // SigDigest is the signed content.
 func (m *VoteMsg) SigDigest() types.Digest {
@@ -113,6 +119,9 @@ type DecisionMsg struct {
 
 // Kind implements types.Message.
 func (*DecisionMsg) Kind() string { return "DECISION" }
+
+// Slot implements obsv.Slotted.
+func (m *DecisionMsg) Slot() (types.View, types.SeqNum) { return types.View(m.Round), m.Height }
 
 type hrKey struct {
 	H types.SeqNum

@@ -65,6 +65,9 @@ type ProposalMsg struct {
 // Kind implements types.Message.
 func (*ProposalMsg) Kind() string { return "THEMIS-PROPOSE" }
 
+// Slot implements obsv.Slotted.
+func (m *ProposalMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
 // SigDigest is the signed content.
 func (m *ProposalMsg) SigDigest() types.Digest {
 	var h types.Hasher
@@ -84,6 +87,9 @@ type VoteMsg struct {
 
 // Kind implements types.Message.
 func (m *VoteMsg) Kind() string { return "THEMIS-" + m.Stage }
+
+// Slot implements obsv.Slotted.
+func (m *VoteMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
 
 // SigDigest is the signed content.
 func (m *VoteMsg) SigDigest() types.Digest {

@@ -71,6 +71,14 @@ type CommitMsg struct {
 // Kind implements types.Message.
 func (*CommitMsg) Kind() string { return "ZYZ-COMMIT" }
 
+// Slot implements obsv.Slotted.
+func (m *CommitMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
+// RequestRef implements obsv.Keyed.
+func (m *CommitMsg) RequestRef() types.RequestKey {
+	return types.RequestKey{Client: m.Client, ClientSeq: m.ClientSeq}
+}
+
 // LocalCommitMsg acknowledges a commit certificate.
 type LocalCommitMsg struct {
 	Seq       types.SeqNum
@@ -81,6 +89,14 @@ type LocalCommitMsg struct {
 
 // Kind implements types.Message.
 func (*LocalCommitMsg) Kind() string { return "LOCAL-COMMIT" }
+
+// Slot implements obsv.Slotted.
+func (m *LocalCommitMsg) Slot() (types.View, types.SeqNum) { return 0, m.Seq }
+
+// RequestRef implements obsv.Keyed.
+func (m *LocalCommitMsg) RequestRef() types.RequestKey {
+	return types.RequestKey{Client: m.Client, ClientSeq: m.ClientSeq}
+}
 
 // CheckpointMsg carries a replica's history digest at a sequence number;
 // 2f+1 matching digests commit the prefix (Zyzzyva's lazy commitment).
