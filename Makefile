@@ -1,4 +1,10 @@
-.PHONY: check build test race vet bench fuzz
+.PHONY: help check build test race vet bench bench-snapshot bench-compare fuzz
+
+# Benchmark filter for `make bench`, e.g. `make bench BENCH=Trace`.
+BENCH ?= .
+
+help: ## list targets with their descriptions
+	@grep -hE '^[a-zA-Z_-]+:.*?## ' $(MAKEFILE_LIST) | awk 'BEGIN {FS = ":.*?## "}; {printf "%-16s %s\n", $$1, $$2}'
 
 check: ## vet + build + race-enabled tests (what CI runs)
 	./scripts/check.sh
@@ -6,17 +12,23 @@ check: ## vet + build + race-enabled tests (what CI runs)
 fuzz: ## chaos campaign: 256 random fault schedules under the invariant oracle
 	go run ./cmd/bftbench -fuzz -fuzz-budget 256 -seed 1
 
-build:
+build: ## compile all packages
 	go build ./...
 
-vet:
+vet: ## static analysis
 	go vet ./...
 
-test:
+test: ## full test suite
 	go test ./...
 
-race:
+race: ## full test suite under the race detector
 	go test -race ./...
 
-bench: ## trace-overhead + protocol benchmarks
-	go test -bench=. -benchmem -run=^$$ .
+bench: ## trace-overhead + protocol benchmarks (BENCH=<regex> filters)
+	go test -bench='$(BENCH)' -benchmem -run=^$$ .
+
+bench-snapshot: ## run the perf matrix, write BENCH_head.json
+	go run ./cmd/bftbench -snapshot BENCH_head.json
+
+bench-compare: ## diff BENCH_head.json against the committed baseline (nonzero exit on regression)
+	go run ./cmd/bftbench -compare BENCH_baseline.json BENCH_head.json

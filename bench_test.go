@@ -18,6 +18,7 @@ import (
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
+	"bftkit/internal/perf"
 	"bftkit/internal/sim"
 	"bftkit/internal/types"
 )
@@ -124,6 +125,21 @@ func BenchmarkRequestDigest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req.Digest()
+	}
+}
+
+// BenchmarkPerfSnapshotCell measures one benchmark-matrix cell end to
+// end through the perf runner — the unit of work `bftbench -snapshot`
+// repeats over the whole matrix, so ns/op here forecasts snapshot wall
+// time and allocs/op tracks the harness-construction overhead the
+// snapshots' host section reports.
+func BenchmarkPerfSnapshotCell(b *testing.B) {
+	cell := perf.Cell{Protocol: "pbft", N: 4, Clients: 2, PerClient: 20, Net: "lan", Workload: "closed", Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := perf.MeasureCell(cell, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

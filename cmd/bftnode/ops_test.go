@@ -34,8 +34,10 @@ type slottedTestMsg struct {
 func (m slottedTestMsg) Kind() string                     { return m.kind }
 func (m slottedTestMsg) Slot() (types.View, types.SeqNum) { return 0, m.seq }
 
-// promLine accepts "# TYPE ..." comments and "name{labels} value"
-// samples — the grammar a Prometheus scraper needs to hold.
+// promLine accepts "# HELP ..."/"# TYPE ..." comments and
+// "name{labels} value" samples — the grammar a Prometheus scraper needs
+// to hold. (The obsv package's strict parser test enforces the full
+// family rules; this endpoint test just guards the serving path.)
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?$`)
 
 func TestMetricsEndpointServesParseableProm(t *testing.T) {
@@ -60,7 +62,7 @@ func TestMetricsEndpointServesParseableProm(t *testing.T) {
 	body := string(raw)
 
 	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") || promLine.MatchString(line) {
+		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# HELP ") || promLine.MatchString(line) {
 			continue
 		}
 		t.Fatalf("unparseable exposition line: %q", line)
@@ -68,6 +70,7 @@ func TestMetricsEndpointServesParseableProm(t *testing.T) {
 	// The live commit-latency histogram: the slot committed 4ms after its
 	// first ordering touch, so the 4095µs bucket holds it.
 	for _, want := range []string{
+		"# HELP bftkit_slot_latency_microseconds ",
 		"# TYPE bftkit_slot_latency_microseconds histogram",
 		"bftkit_slot_latency_microseconds_count 1",
 		"bftkit_slot_latency_microseconds_sum 4000",

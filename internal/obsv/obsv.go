@@ -554,6 +554,18 @@ func (t *Tracer) Nodes() []types.NodeID {
 	return out
 }
 
+// Totals sums the counters across every node and every phase — ordering,
+// client, checkpoint, and recovery traffic alike. The perf snapshot
+// subsystem reports these as the cell-wide cost totals; OrderingTotals
+// below stays the message-complexity view the paper's claims use.
+func (t *Tracer) Totals() PhaseStat {
+	var agg PhaseStat
+	for _, st := range t.PerPhase() {
+		agg.add(st)
+	}
+	return agg
+}
+
 // OrderingTotals sums messages and bytes sent across all protocol
 // (ordering) phases — the quantity the paper's message-complexity
 // claims are about. Client traffic, checkpointing, view changes, and

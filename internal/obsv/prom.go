@@ -30,9 +30,11 @@ func promName(name, unit string) string {
 }
 
 // writePromHistogram renders one snapshot as a Prometheus histogram.
-func writePromHistogram(w io.Writer, snap HistogramSnapshot) error {
+// Every family gets a # HELP line before its # TYPE line — scrapers and
+// the strict text-format parser in prom_parse_test.go require both.
+func writePromHistogram(w io.Writer, snap HistogramSnapshot, help string) error {
 	name := promName(snap.Name, snap.Unit)
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
 		return err
 	}
 	hi := 0
@@ -102,8 +104,8 @@ func gatherCounters(tracers []*Tracer) *promCounters {
 	return pc
 }
 
-func writePromCounter(w io.Writer, name string, pc *promCounters, get func(*PhaseStat) int64) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+func writePromCounter(w io.Writer, name, help string, pc *promCounters, get func(*PhaseStat) int64) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
 		return err
 	}
 	for _, k := range pc.keys {
@@ -123,19 +125,20 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 	pc := gatherCounters(tracers)
 	counters := []struct {
 		name string
+		help string
 		get  func(*PhaseStat) int64
 	}{
-		{"bftkit_phase_msgs_sent_total", func(s *PhaseStat) int64 { return s.MsgsSent }},
-		{"bftkit_phase_msgs_recv_total", func(s *PhaseStat) int64 { return s.MsgsRecv }},
-		{"bftkit_phase_bytes_sent_total", func(s *PhaseStat) int64 { return s.BytesSent }},
-		{"bftkit_phase_bytes_recv_total", func(s *PhaseStat) int64 { return s.BytesRecv }},
-		{"bftkit_phase_sign_total", func(s *PhaseStat) int64 { return s.Sign }},
-		{"bftkit_phase_verify_total", func(s *PhaseStat) int64 { return s.Verify }},
-		{"bftkit_phase_mac_total", func(s *PhaseStat) int64 { return s.MACSign }},
-		{"bftkit_phase_mac_verify_total", func(s *PhaseStat) int64 { return s.MACVerify }},
+		{"bftkit_phase_msgs_sent_total", "Messages sent, per node and protocol phase.", func(s *PhaseStat) int64 { return s.MsgsSent }},
+		{"bftkit_phase_msgs_recv_total", "Messages received, per node and protocol phase.", func(s *PhaseStat) int64 { return s.MsgsRecv }},
+		{"bftkit_phase_bytes_sent_total", "Wire bytes sent, per node and protocol phase.", func(s *PhaseStat) int64 { return s.BytesSent }},
+		{"bftkit_phase_bytes_recv_total", "Wire bytes received, per node and protocol phase.", func(s *PhaseStat) int64 { return s.BytesRecv }},
+		{"bftkit_phase_sign_total", "Signature creations, attributed to the node's current phase.", func(s *PhaseStat) int64 { return s.Sign }},
+		{"bftkit_phase_verify_total", "Signature verifications, attributed to the node's current phase.", func(s *PhaseStat) int64 { return s.Verify }},
+		{"bftkit_phase_mac_total", "MAC creations, attributed to the node's current phase.", func(s *PhaseStat) int64 { return s.MACSign }},
+		{"bftkit_phase_mac_verify_total", "MAC verifications, attributed to the node's current phase.", func(s *PhaseStat) int64 { return s.MACVerify }},
 	}
 	for _, c := range counters {
-		if err := writePromCounter(w, c.name, pc, c.get); err != nil {
+		if err := writePromCounter(w, c.name, c.help, pc, c.get); err != nil {
 			return err
 		}
 	}
@@ -153,12 +156,20 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 		queue.Merge(t.QueueDepth)
 		dropped += t.DroppedEvents()
 	}
-	for _, h := range []*Histogram{commit, slot, queue} {
-		if err := writePromHistogram(w, h.Snapshot()); err != nil {
+	hists := []struct {
+		h    *Histogram
+		help string
+	}{
+		{commit, "Client-observed commit latency, submission to enough matching replies."},
+		{slot, "Replica-side slot latency, first ordering message to first commit."},
+		{queue, "Network substrate in-flight message count, sampled at each send."},
+	}
+	for _, hh := range hists {
+		if err := writePromHistogram(w, hh.h.Snapshot(), hh.help); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE bftkit_events_dropped_total counter\nbftkit_events_dropped_total %d\n", dropped); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_events_dropped_total Trace events dropped after the event-log cap.\n# TYPE bftkit_events_dropped_total counter\nbftkit_events_dropped_total %d\n", dropped); err != nil {
 		return err
 	}
 	return nil

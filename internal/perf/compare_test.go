@@ -1,0 +1,182 @@
+package perf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// synthetic builds a snapshot without touching the simulator, for
+// comparator-logic tests.
+func synthetic(cells ...CellResult) *Snapshot {
+	return &Snapshot{Schema: SchemaVersion, GitRev: "test", Date: "t", GoVersion: "go", Repeats: 1, Cells: cells}
+}
+
+func cellResult(id string, v Virtual, h Host) CellResult {
+	return CellResult{ID: id, Virtual: v, Host: h}
+}
+
+func baseVirtual() Virtual {
+	return Virtual{Completed: 100, ElapsedUS: 50000, ThroughputRPS: 2000, P50US: 400, P95US: 700, P99US: 900,
+		Msgs: 1200, WireBytes: 300000, SigOps: 800, MACOps: 0, MsgsPerTxn: 12, BytesPerTxn: 3000, SigOpsPerTxn: 8}
+}
+
+func TestHostToleranceBand(t *testing.T) {
+	old := synthetic(cellResult("a", baseVirtual(), Host{WallNS: 100, Allocs: 1000, AllocBytes: 5000}))
+
+	inside := synthetic(cellResult("a", baseVirtual(), Host{WallNS: 120, Allocs: 1100, AllocBytes: 5500}))
+	if rep := Compare(old, inside, CompareOptions{WallTolerance: 0.30}); len(rep.Deltas) != 0 || rep.Failed() {
+		t.Fatalf("within-tolerance host change reported: %+v", rep.Deltas)
+	}
+
+	outside := synthetic(cellResult("a", baseVirtual(), Host{WallNS: 150, Allocs: 1000, AllocBytes: 5000}))
+	rep := Compare(old, outside, CompareOptions{WallTolerance: 0.30})
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Metric != "wall_ns" || rep.Deltas[0].Kind != "host" {
+		t.Fatalf("out-of-tolerance wall change not reported: %+v", rep.Deltas)
+	}
+	if rep.Failed() {
+		t.Fatal("host regression failed the gate without GateWall")
+	}
+	if gated := Compare(old, outside, CompareOptions{WallTolerance: 0.30, GateWall: true}); !gated.Failed() {
+		t.Fatal("GateWall did not gate a host regression")
+	}
+	// A wall *improvement* beyond tolerance never fails, even gated.
+	faster := synthetic(cellResult("a", baseVirtual(), Host{WallNS: 40, Allocs: 1000, AllocBytes: 5000}))
+	if rep := Compare(old, faster, CompareOptions{WallTolerance: 0.30, GateWall: true}); rep.Failed() {
+		t.Fatal("host improvement failed the gate")
+	}
+}
+
+func TestVirtualDriftAlwaysGates(t *testing.T) {
+	old := synthetic(cellResult("a", baseVirtual(), Host{WallNS: 100}))
+	v := baseVirtual()
+	v.P99US = 901 // one microsecond of drift is still drift
+	nw := synthetic(cellResult("a", v, Host{WallNS: 100}))
+	rep := Compare(old, nw, CompareOptions{})
+	if !rep.Failed() {
+		t.Fatal("1µs virtual drift passed")
+	}
+	if cells := rep.RegressedCells(); len(cells) != 1 || cells[0] != "a" {
+		t.Fatalf("regressed cells %v", cells)
+	}
+	if rep := Compare(old, nw, CompareOptions{Allow: []string{"a"}}); rep.Failed() {
+		t.Fatal("exact-match allowlist did not acknowledge the drift")
+	}
+}
+
+func TestMissingAndAddedCells(t *testing.T) {
+	old := synthetic(
+		cellResult("a", baseVirtual(), Host{WallNS: 1}),
+		cellResult("b", baseVirtual(), Host{WallNS: 1}),
+	)
+	nw := synthetic(
+		cellResult("a", baseVirtual(), Host{WallNS: 1}),
+		cellResult("c", baseVirtual(), Host{WallNS: 1}),
+	)
+	rep := Compare(old, nw, CompareOptions{})
+	if !rep.Failed() {
+		t.Fatal("missing baseline cell passed the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "b" || len(rep.Added) != 1 || rep.Added[0] != "c" {
+		t.Fatalf("missing=%v added=%v", rep.Missing, rep.Added)
+	}
+	if rep := Compare(old, nw, CompareOptions{Allow: []string{"b"}}); rep.Failed() {
+		t.Fatal("allowlisted missing cell still failed")
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "MISSING") || !strings.Contains(buf.String(), "new cells") {
+		t.Fatalf("render missing cell report:\n%s", buf.String())
+	}
+}
+
+// TestWorstFirstOrdering: the delta table leads with the biggest
+// regression, and improvements sort below regressions.
+func TestWorstFirstOrdering(t *testing.T) {
+	old := synthetic(
+		cellResult("small", baseVirtual(), Host{}),
+		cellResult("big", baseVirtual(), Host{}),
+		cellResult("better", baseVirtual(), Host{}),
+	)
+	small, big, better := baseVirtual(), baseVirtual(), baseVirtual()
+	small.P99US += 90            // +10%
+	big.P99US += 450             // +50%
+	better.ThroughputRPS += 1000 // improvement: throughput up
+	nw := synthetic(
+		cellResult("small", small, Host{}),
+		cellResult("big", big, Host{}),
+		cellResult("better", better, Host{}),
+	)
+	rep := Compare(old, nw, CompareOptions{})
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("want 3 deltas, got %+v", rep.Deltas)
+	}
+	if rep.Deltas[0].Cell != "big" || rep.Deltas[1].Cell != "small" || rep.Deltas[2].Cell != "better" {
+		order := []string{rep.Deltas[0].Cell, rep.Deltas[1].Cell, rep.Deltas[2].Cell}
+		t.Fatalf("order %v, want [big small better]", order)
+	}
+	if rep.Deltas[2].Badness >= 0 {
+		t.Fatalf("throughput improvement has non-negative badness: %+v", rep.Deltas[2])
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, id string
+		want        bool
+	}{
+		{"pbft/n=4/c=2x50/lan/closed", "pbft/n=4/c=2x50/lan/closed", true},
+		{"pbft/*", "pbft/n=4/c=2x50/lan/closed", true},
+		{"*/wan/*", "hotstuff/n=4/c=2x50/wan/closed", true},
+		{"pbft/*", "sbft/n=4/c=2x50/lan/closed", false},
+		{"*", "anything", true},
+		{"pbft", "pbft/n=4/c=2x50/lan/closed", false}, // no implicit prefix match
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pattern, c.id); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pattern, c.id, got, c.want)
+		}
+	}
+}
+
+func TestReadAllowFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ".perf-allow")
+	content := "# intended changes\n\npbft/*\n  hotstuff/n=4/c=2x50/wan/closed  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllowFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"pbft/*", "hotstuff/n=4/c=2x50/wan/closed"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	if _, err := ReadAllowFile(filepath.Join(dir, "absent"), false); err == nil {
+		t.Fatal("missing file with missingOK=false passed")
+	}
+	if pats, err := ReadAllowFile(filepath.Join(dir, "absent"), true); err != nil || pats != nil {
+		t.Fatalf("missing file with missingOK=true: %v %v", pats, err)
+	}
+}
+
+func TestSchemaVersionEnforced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999, "cells": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema accepted: %v", err)
+	}
+}
+
+func TestProfileNameSafe(t *testing.T) {
+	got := profileName("pbft/n=4/c=2x50/lan/closed")
+	if strings.ContainsAny(got, "/=") {
+		t.Fatalf("unsafe profile name %q", got)
+	}
+}

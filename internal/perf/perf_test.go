@@ -1,0 +1,166 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallMatrix keeps sim work per test in the tens of milliseconds while
+// still exercising two protocols and both comparison paths.
+func smallMatrix() []Cell {
+	return []Cell{
+		{Protocol: "pbft", N: 4, Clients: 2, PerClient: 10, Net: "lan", Workload: "closed", Seed: 1},
+		{Protocol: "zyzzyva", N: 4, Clients: 2, PerClient: 10, Net: "lan", Workload: "closed", Seed: 1},
+	}
+}
+
+// TestSnapshotDeterminism is the guard the CI perf job relies on: two
+// back-to-back snapshots at the same revision must produce byte-identical
+// virtual-metric sections (headers and host metrics may differ).
+func TestSnapshotDeterminism(t *testing.T) {
+	a, err := Take(RunOptions{Matrix: smallMatrix(), Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Take(RunOptions{Matrix: smallMatrix(), Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, vb := a.VirtualSection(), b.VirtualSection()
+	if !bytes.Equal(va, vb) {
+		t.Fatalf("virtual sections differ between back-to-back snapshots:\n--- a ---\n%s\n--- b ---\n%s", va, vb)
+	}
+	if len(a.Cells) != len(smallMatrix()) {
+		t.Fatalf("got %d cells, want %d", len(a.Cells), len(smallMatrix()))
+	}
+	for _, c := range a.Cells {
+		if c.Virtual.Completed != c.Cell.Clients*c.Cell.PerClient {
+			t.Errorf("%s: completed %d, want %d", c.ID, c.Virtual.Completed, c.Cell.Clients*c.Cell.PerClient)
+		}
+		if c.Virtual.Msgs == 0 || c.Virtual.WireBytes == 0 || c.Virtual.ThroughputRPS == 0 {
+			t.Errorf("%s: empty virtual metrics: %+v", c.ID, c.Virtual)
+		}
+		if c.Host.WallNS <= 0 {
+			t.Errorf("%s: non-positive wall time %d", c.ID, c.Host.WallNS)
+		}
+	}
+	if a.Schema != SchemaVersion || a.GoVersion == "" || a.Date == "" {
+		t.Errorf("incomplete header: %+v", a)
+	}
+}
+
+// TestCompareCatchesSlowdown pins the acceptance criterion: a snapshot
+// taken with one protocol intentionally slowed (a byz delay replica)
+// must fail the comparison and name the regressed cells.
+func TestCompareCatchesSlowdown(t *testing.T) {
+	base, err := Take(RunOptions{Matrix: smallMatrix(), Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Take(RunOptions{
+		Matrix:  smallMatrix(),
+		Repeats: 1,
+		Wrap:    SlowWrap("pbft", 2*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(base, slow, CompareOptions{})
+	if !rep.Failed() {
+		t.Fatal("comparator passed a run with a delay replica injected")
+	}
+	pbftID := smallMatrix()[0].ID()
+	zyzID := smallMatrix()[1].ID()
+	regressed := rep.RegressedCells()
+	if len(regressed) == 0 || regressed[0] != pbftID {
+		t.Fatalf("regressed cells %v, want [%s ...]", regressed, pbftID)
+	}
+	for _, id := range regressed {
+		if id == zyzID {
+			t.Fatalf("untouched cell %s reported as regressed", zyzID)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "VIRTUAL DRIFT") || !strings.Contains(out, pbftID) || !strings.Contains(out, "FAIL") {
+		t.Fatalf("render missing drift verdict or cell name:\n%s", out)
+	}
+
+	// The same drift, acknowledged per-cell, passes the gate but is
+	// still visible in the table — the intended-change workflow.
+	allowed := Compare(base, slow, CompareOptions{Allow: []string{"pbft/*"}})
+	if allowed.Failed() {
+		t.Fatal("allowlisted drift still failed the gate")
+	}
+	buf.Reset()
+	allowed.Render(&buf)
+	if !strings.Contains(buf.String(), "drift (allowed)") || !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("allowed drift not rendered as such:\n%s", buf.String())
+	}
+}
+
+// TestCompareSelf: a snapshot against itself is a clean pass with no
+// deltas of either kind.
+func TestCompareSelf(t *testing.T) {
+	snap, err := Take(RunOptions{Matrix: smallMatrix()[:1], Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(snap, snap, CompareOptions{})
+	if rep.Failed() || len(rep.Deltas) != 0 || len(rep.Missing) != 0 || len(rep.Added) != 0 {
+		t.Fatalf("self-comparison not clean: %+v", rep)
+	}
+}
+
+// TestSnapshotRoundTrip pins the on-disk format: write, read back,
+// identical virtual section and header.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap, err := Take(RunOptions{Matrix: smallMatrix()[:1], Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.VirtualSection(), got.VirtualSection()) {
+		t.Fatal("virtual section changed across write/read")
+	}
+	if got.GitRev != snap.GitRev || got.Repeats != snap.Repeats {
+		t.Fatalf("header changed across write/read: %+v vs %+v", got, snap)
+	}
+}
+
+// TestTakeRejectsBadCells: unknown net/workload names are errors, not
+// silently skipped cells (a silently shrinking matrix would make every
+// comparison vacuously green).
+func TestTakeRejectsBadCells(t *testing.T) {
+	bad := []Cell{{Protocol: "pbft", N: 4, Clients: 1, PerClient: 1, Net: "dialup", Workload: "closed", Seed: 1}}
+	if _, err := Take(RunOptions{Matrix: bad, Repeats: 1}); err == nil {
+		t.Fatal("unknown net accepted")
+	}
+	bad[0].Net, bad[0].Workload = "lan", "adversarial"
+	if _, err := Take(RunOptions{Matrix: bad, Repeats: 1}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestDefaultMatrixIDsUnique: the allowlist and comparator key on cell
+// IDs, so duplicates would silently merge cells.
+func TestDefaultMatrixIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range DefaultMatrix() {
+		id := c.ID()
+		if seen[id] {
+			t.Fatalf("duplicate cell ID %s", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"bftkit/internal/harness"
+)
+
+// CaptureProfiles re-runs the given cells with host profiling on,
+// writing per-cell pprof CPU and heap profiles into dir:
+//
+//	<dir>/<cell>.cpu.pprof   (CPU samples over repeats runs)
+//	<dir>/<cell>.heap.pprof  (live heap after the last run)
+//
+// bftbench -compare invokes it for every regressed cell, so a red perf
+// gate ships the evidence needed to diagnose it. Cells come from the
+// snapshot itself (CellResult.Cell), not the current matrix, so a
+// regressed cell is profiled even if DefaultMatrix has moved on.
+func CaptureProfiles(dir string, cells []Cell, repeats int, wrap func(Cell, *harness.Options), logf func(string, ...any)) error {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		base := filepath.Join(dir, profileName(cell.ID()))
+		cpu, err := os.Create(base + ".cpu.pprof")
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return fmt.Errorf("perf: cpu profile for %s: %w", cell.ID(), err)
+		}
+		var runErr error
+		for r := 0; r < repeats && runErr == nil; r++ {
+			_, _, runErr = MeasureCell(cell, wrap)
+		}
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		if runErr != nil {
+			return fmt.Errorf("perf: profiling %s: %w", cell.ID(), runErr)
+		}
+		heap, err := os.Create(base + ".heap.pprof")
+		if err != nil {
+			return err
+		}
+		runtime.GC() // heap profile should show live objects, not garbage
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			heap.Close()
+			return fmt.Errorf("perf: heap profile for %s: %w", cell.ID(), err)
+		}
+		if err := heap.Close(); err != nil {
+			return err
+		}
+		logf("perf: profiled %s → %s.{cpu,heap}.pprof", cell.ID(), base)
+	}
+	return nil
+}
+
+// FindCells resolves cell IDs against a snapshot, preserving order and
+// skipping unknown IDs (returned separately for the caller to warn on).
+func FindCells(snap *Snapshot, ids []string) (cells []Cell, unknown []string) {
+	byID := make(map[string]Cell, len(snap.Cells))
+	for _, c := range snap.Cells {
+		byID[c.ID] = c.Cell
+	}
+	for _, id := range ids {
+		if c, ok := byID[id]; ok {
+			cells = append(cells, c)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	return cells, unknown
+}
+
+// profileName flattens a cell ID into a filesystem-safe basename.
+func profileName(id string) string {
+	repl := strings.NewReplacer("/", "-", "=", "", "*", "x")
+	return repl.Replace(id)
+}

@@ -1,0 +1,227 @@
+package perf
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"bftkit/internal/byz"
+	"bftkit/internal/harness"
+	"bftkit/internal/obsv"
+	"bftkit/internal/types"
+
+	// Register every protocol the matrix can name.
+	_ "bftkit/internal/protocols/hotstuff"
+	_ "bftkit/internal/protocols/pbft"
+	_ "bftkit/internal/protocols/sbft"
+	_ "bftkit/internal/protocols/tendermint"
+	_ "bftkit/internal/protocols/zyzzyva"
+)
+
+// RunOptions configures a snapshot run.
+type RunOptions struct {
+	// Matrix is the cell list (default DefaultMatrix()).
+	Matrix []Cell
+	// Repeats is how many times each cell runs on the host (default 3).
+	// Virtual metrics must agree bit-for-bit across repeats; host
+	// metrics take the median.
+	Repeats int
+	// Wrap, when set, adjusts each cell's harness options before the
+	// cluster is built. Tests (and bftbench -snapshot-slow) use it to
+	// inject a Byzantine delay replica and prove the comparator notices.
+	Wrap func(Cell, *harness.Options)
+	// Logf reports per-cell progress (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Take runs the matrix and assembles a snapshot. It errors if any cell's
+// virtual metrics differ between repeats (the simulator guarantees they
+// cannot, so a mismatch means nondeterminism crept into the code under
+// test) or if a cell's safety audit fails.
+func Take(opts RunOptions) (*Snapshot, error) {
+	if opts.Matrix == nil {
+		opts.Matrix = DefaultMatrix()
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 3
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	snap := &Snapshot{
+		Schema:    SchemaVersion,
+		GitRev:    gitRev(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Repeats:   opts.Repeats,
+	}
+	for _, cell := range opts.Matrix {
+		var virt Virtual
+		samples := make([]Sample, 0, opts.Repeats)
+		for r := 0; r < opts.Repeats; r++ {
+			v, s, err := MeasureCell(cell, opts.Wrap)
+			if err != nil {
+				return nil, fmt.Errorf("perf: cell %s: %w", cell.ID(), err)
+			}
+			if r == 0 {
+				virt = v
+			} else if v != virt {
+				return nil, fmt.Errorf("perf: cell %s: virtual metrics differ between repeats %d and %d — the run is nondeterministic:\n  first: %+v\n  now:   %+v",
+					cell.ID(), 1, r+1, virt, v)
+			}
+			samples = append(samples, s)
+		}
+		snap.Cells = append(snap.Cells, CellResult{
+			ID:      cell.ID(),
+			Cell:    cell,
+			Virtual: virt,
+			Host:    medianHost(samples),
+		})
+		logf("perf: %-40s %8.0f req/s  p99 %6dµs  %6.1f msgs/txn  wall %s",
+			cell.ID(), virt.ThroughputRPS, virt.P99US, virt.MsgsPerTxn,
+			time.Duration(snap.Cells[len(snap.Cells)-1].Host.WallNS).Round(time.Millisecond))
+	}
+	return snap, nil
+}
+
+// MeasureCell runs one cell once, returning its virtual metrics and the
+// host-side sample for that run. wrap may be nil.
+func MeasureCell(cell Cell, wrap func(Cell, *harness.Options)) (Virtual, Sample, error) {
+	net, err := netConfig(cell.Net)
+	if err != nil {
+		return Virtual{}, Sample{}, err
+	}
+	nextOp, err := workloadFor(cell)
+	if err != nil {
+		return Virtual{}, Sample{}, err
+	}
+
+	// Host measurement brackets the whole cell — cluster construction
+	// included, since allocation behavior there is part of the cost a
+	// perf PR may change. A GC fence keeps the previous cell's garbage
+	// out of this cell's alloc delta.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+
+	tr := obsv.New(obsv.Options{}) // counters only: no event log on the hot path
+	hopts := harness.Options{
+		Protocol: cell.Protocol, N: cell.N, Clients: cell.Clients,
+		Net: net, Seed: cell.Seed, Tune: tuneFor(cell), Trace: tr,
+	}
+	if wrap != nil {
+		wrap(cell, &hopts)
+	}
+	c := harness.NewCluster(hopts)
+	c.Start()
+	start := c.Sched.Now()
+	lastDone := start
+	c.ClosedLoop(cell.PerClient, nextOp)
+	c.AddDoneObserver(func(at time.Duration) {
+		if at > lastDone {
+			lastDone = at
+		}
+	})
+	// Advance in fixed virtual-time steps until the workload completes
+	// rather than draining to idle: protocols with long-tail timers
+	// (speculative clients arming commit certificates, pacemakers) would
+	// otherwise burn host time simulating an empty tail that no metric
+	// reads. Fixed step boundaries keep the stop point deterministic.
+	expected := cell.Clients * cell.PerClient
+	const step, cap = 50 * time.Millisecond, 600 * time.Second
+	for c.Metrics.Completed < expected && c.Sched.Now() < cap {
+		c.Run(step)
+	}
+	if c.Metrics.Completed < expected {
+		return Virtual{}, Sample{}, fmt.Errorf("stalled: %d/%d requests completed within %v of virtual time",
+			c.Metrics.Completed, expected, cap)
+	}
+
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	if err := c.Audit(); err != nil {
+		return Virtual{}, Sample{}, err
+	}
+	m := c.Metrics
+	virt := Virtual{
+		Completed: m.Completed,
+		ElapsedUS: int64((lastDone - start) / time.Microsecond),
+		P50US:     int64(m.LatencyPercentile(50) / time.Microsecond),
+		P95US:     int64(m.LatencyPercentile(95) / time.Microsecond),
+		P99US:     int64(m.LatencyPercentile(99) / time.Microsecond),
+	}
+	virt.ThroughputRPS = m.Throughput(lastDone)
+	totals := tr.Totals()
+	virt.Msgs = totals.MsgsSent
+	virt.WireBytes = totals.BytesSent
+	virt.SigOps = totals.Sign + totals.Verify
+	virt.MACOps = totals.MACSign + totals.MACVerify
+	for id := range m.ViewChanges {
+		virt.ViewChanges += len(m.ViewChanges[id])
+	}
+	if virt.Completed > 0 {
+		n := float64(virt.Completed)
+		virt.MsgsPerTxn = float64(virt.Msgs) / n
+		virt.BytesPerTxn = float64(virt.WireBytes) / n
+		virt.SigOpsPerTxn = float64(virt.SigOps) / n
+		virt.MACOpsPerTxn = float64(virt.MACOps) / n
+	}
+	sample := Sample{
+		WallNS:     wall.Nanoseconds(),
+		Allocs:     int64(m1.Mallocs - m0.Mallocs),
+		AllocBytes: int64(m1.TotalAlloc - m0.TotalAlloc),
+	}
+	return virt, sample, nil
+}
+
+// medianHost reduces repeat samples to their per-field medians. Fields
+// are reduced independently: the median wall time and the median alloc
+// count may come from different repeats, which is fine — each field is
+// compared on its own.
+func medianHost(samples []Sample) Host {
+	med := func(get func(Sample) int64) int64 {
+		vals := make([]int64, len(samples))
+		for i, s := range samples {
+			vals[i] = get(s)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return vals[len(vals)/2]
+	}
+	return Host{
+		WallNS:     med(func(s Sample) int64 { return s.WallNS }),
+		Allocs:     med(func(s Sample) int64 { return s.Allocs }),
+		AllocBytes: med(func(s Sample) int64 { return s.AllocBytes }),
+	}
+}
+
+// SlowWrap returns a Wrap hook that makes every cell of one protocol run
+// with replica 1 delaying its ordering messages by d (zero = byz's 5ms
+// default) — an intentionally regressed build, used to verify end to end
+// that the comparator catches and names a slowdown
+// (bftbench -snapshot-slow, TestCompareCatchesSlowdown).
+func SlowWrap(protocol string, d time.Duration) func(Cell, *harness.Options) {
+	return func(cell Cell, opts *harness.Options) {
+		if cell.Protocol != protocol {
+			return
+		}
+		opts.Byzantine = map[types.NodeID]byz.Behavior{
+			1: byz.DelayProposals{Delay: d},
+		}
+	}
+}
+
+// gitRev resolves the current commit for the snapshot header; snapshots
+// taken outside a git checkout record "unknown".
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
