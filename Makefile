@@ -1,4 +1,4 @@
-.PHONY: help check build test race vet bench bench-snapshot bench-compare fuzz
+.PHONY: help check build test race vet bench bench-snapshot bench-compare fuzz tcp-smoke
 
 # Benchmark filter for `make bench`, e.g. `make bench BENCH=Trace`.
 BENCH ?= .
@@ -11,6 +11,9 @@ check: ## vet + build + race-enabled tests (what CI runs)
 
 fuzz: ## chaos campaign: 256 random fault schedules under the invariant oracle
 	go run ./cmd/bftbench -fuzz -fuzz-budget 256 -seed 1
+
+tcp-smoke: ## real-TCP cluster smoke: 4 bftnode processes + bftclient on localhost
+	./scripts/tcp_smoke.sh
 
 build: ## compile all packages
 	go build ./...

@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deployment key seed (must match the nodes)")
 	requests := flag.Int("requests", 50, "number of requests to issue (closed loop)")
 	f := flag.Int("f", 0, "fault threshold (0 = derive from n)")
+	maxFrame := flag.Int("max-frame", 0, "max wire frame in bytes, must match the nodes (0 = 4 MiB default)")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -54,6 +55,7 @@ func main() {
 	clientID := types.ClientIDBase
 	peers[clientID] = *listen
 	node := transport.NewNode(clientID, peers, *seed)
+	node.SetMaxFrame(*maxFrame)
 	auth := crypto.NewAuthority(*seed)
 
 	done := make(chan struct{}, 1)

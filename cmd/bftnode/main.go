@@ -38,6 +38,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log protocol traces")
 	stats := flag.Bool("stats", false, "print the per-phase message/byte/crypto breakdown on shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz, and /debug/pprof on this address")
+	maxFrame := flag.Int("max-frame", 0, "max wire frame in bytes, must match across the deployment (0 = 4 MiB default)")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -64,6 +65,7 @@ func main() {
 	cfg.Scheme = reg.Profile.AuthOrdering
 
 	node := transport.NewNode(types.NodeID(*id), peers, *seed)
+	node.SetMaxFrame(*maxFrame)
 	auth := crypto.NewAuthority(*seed)
 	var tracer *obsv.Tracer
 	if *stats || *metricsAddr != "" {

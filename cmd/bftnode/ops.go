@@ -10,12 +10,15 @@ import (
 	"bftkit/internal/obsv"
 )
 
-// opsHealth is the /healthz payload.
+// opsHealth is the /healthz payload. Transport carries the connection
+// manager's counters (dials, reconnects, frame rejects) so a probe can
+// tell a node that is up-but-isolated from one that is serving peers.
 type opsHealth struct {
-	Status        string  `json:"status"`
-	Protocol      string  `json:"protocol"`
-	Node          int     `json:"node"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string               `json:"status"`
+	Protocol      string               `json:"protocol"`
+	Node          int                  `json:"node"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Transport     *obsv.TransportStats `json:"transport,omitempty"`
 }
 
 // opsMux assembles the live ops surface served on -metrics-addr: the
@@ -30,12 +33,17 @@ func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer) *http.Ser
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(opsHealth{
+		h := opsHealth{
 			Status:        "ok",
 			Protocol:      protocol,
 			Node:          id,
 			UptimeSeconds: time.Since(start).Seconds(),
-		})
+		}
+		if tr != nil {
+			ts := tr.TransportStats()
+			h.Transport = &ts
+		}
+		json.NewEncoder(w).Encode(h)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,338 @@
+package harness
+
+// TCPCluster is the harness's real-network counterpart to Cluster: the
+// same protocols, replica runtime, and Observer contract, but deployed
+// over internal/transport's TCP stack inside one process. It exists so
+// the chaos oracle can audit runs in which the faults are real — dials
+// that hang, connections that die mid-frame, replicas whose process
+// state genuinely vanishes on kill — rather than simulated. Wall-clock
+// time replaces the virtual clock, so runs are not deterministic; the
+// invariants checked against them must hold on every schedule.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/crypto"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/obsv"
+	"bftkit/internal/transport"
+	"bftkit/internal/types"
+)
+
+// TCPOptions configures a real-TCP deployment.
+type TCPOptions struct {
+	// Protocol is the registry name (protocol packages must be imported
+	// for side effects by the caller).
+	Protocol string
+	// N is the replica count. Zero means the profile's minimum for F.
+	N int
+	// F is the fault threshold. Zero derives the largest tolerable value
+	// from N (or defaults to 1 when both are zero).
+	F int
+	// Seed drives key material and transport jitter (default 1).
+	Seed int64
+	// Tune adjusts the derived config before replicas are built.
+	Tune func(*core.Config)
+	// Observers receive protocol-level events. Unlike the simulator,
+	// callbacks originate on many event-loop goroutines; TCPCluster
+	// serializes them under one mutex, so observers written for the
+	// single-threaded simulator (the chaos oracle) work unchanged.
+	Observers []Observer
+	// PeerView, when set, rewrites each replica's peer table before its
+	// transport node is built — the hook a fault-injecting proxy fabric
+	// (chaos.NetemNet.View) uses to interpose on every inter-replica
+	// link. The client always dials real addresses.
+	PeerView func(self types.NodeID, peers map[types.NodeID]string) (map[types.NodeID]string, error)
+	// Trace, when set, is installed on every transport node, aggregating
+	// dial/reconnect/frame-reject counters across the deployment.
+	Trace *obsv.Tracer
+}
+
+// TCPCluster is a running multi-node TCP deployment in one process.
+type TCPCluster struct {
+	Opts TCPOptions
+	Reg  core.Registration
+	Cfg  core.Config
+	// Addrs is the real listen address of every replica.
+	Addrs map[types.NodeID]string
+
+	start time.Time
+
+	// obsMu serializes observer fan-out: replica hooks fire on per-node
+	// event loops concurrently, but Observer implementations assume the
+	// simulator's single thread.
+	obsMu sync.Mutex
+
+	mu       sync.Mutex
+	replicas map[types.NodeID]*tcpReplica
+
+	clientNode *transport.Node
+	client     *core.Client
+	clientSeq  uint64
+	doneCh     chan *types.Request
+}
+
+type tcpReplica struct {
+	node *transport.Node
+	rep  *core.Replica
+	app  *kvstore.Store
+}
+
+// NewTCPCluster builds and starts a deployment: n replicas plus one
+// client, each on its own 127.0.0.1 port. It panics on unknown
+// protocols or invalid sizing, mirroring NewCluster.
+func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
+	reg, ok := core.Lookup(opts.Protocol)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown protocol %q (missing import?)", opts.Protocol))
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	f, n := opts.F, opts.N
+	switch {
+	case n == 0 && f == 0:
+		f = 1
+		n = reg.Profile.MinReplicas(f)
+	case n == 0:
+		n = reg.Profile.MinReplicas(f)
+	case f == 0:
+		for ff := 1; reg.Profile.MinReplicas(ff) <= n; ff++ {
+			f = ff
+		}
+		if f == 0 {
+			panic(fmt.Sprintf("harness: %d replicas cannot tolerate any fault under %s", n, reg.Profile.Replicas))
+		}
+	}
+	if n < reg.Profile.MinReplicas(f) {
+		panic(fmt.Sprintf("harness: %s needs n >= %d for f=%d, got %d",
+			opts.Protocol, reg.Profile.MinReplicas(f), f, n))
+	}
+
+	cfg := core.DefaultConfig(n)
+	cfg.F = f
+	cfg.Scheme = reg.Profile.AuthOrdering
+	if opts.Tune != nil {
+		opts.Tune(&cfg)
+	}
+
+	c := &TCPCluster{
+		Opts:     opts,
+		Reg:      reg,
+		Cfg:      cfg,
+		Addrs:    make(map[types.NodeID]string, n),
+		start:    time.Now(),
+		replicas: make(map[types.NodeID]*tcpReplica, n),
+		doneCh:   make(chan *types.Request, 64),
+	}
+
+	// Reserve a port per node by listening and closing; transport nodes
+	// re-bind the same addresses. The tiny reuse window is acceptable for
+	// a localhost test harness.
+	addrs, err := reserveAddrs(n + 1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		c.Addrs[types.NodeID(i)] = addrs[i]
+	}
+	clientAddr := addrs[n]
+
+	for i := 0; i < n; i++ {
+		if err := c.startReplica(types.NodeID(i)); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+
+	// The client dials real replica addresses (PeerView interposes on
+	// inter-replica links only) and listens for replies on its own port.
+	clientID := types.ClientIDBase
+	cpeers := make(map[types.NodeID]string, n+1)
+	for id, addr := range c.Addrs {
+		cpeers[id] = addr
+	}
+	cpeers[clientID] = clientAddr
+	c.clientNode = transport.NewNode(clientID, cpeers, opts.Seed)
+	if opts.Trace != nil {
+		c.clientNode.SetTracer(opts.Trace)
+	}
+	chooks := core.ClientHooks{
+		OnDone: func(id types.NodeID, req *types.Request, result []byte, _ time.Duration) {
+			at := c.Now()
+			c.obsMu.Lock()
+			for _, o := range c.Opts.Observers {
+				o.OnDone(id, req, result, at)
+			}
+			c.obsMu.Unlock()
+			c.doneCh <- req
+		},
+	}
+	c.client = core.NewClient(clientID, cfg, c.clientNode, reg.ClientFor(cfg), crypto.NewAuthority(opts.Seed), chooks)
+	c.clientNode.SetHandler(c.client)
+	if err := c.clientNode.Start(); err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.clientNode.Do(c.client.Start)
+	return c, nil
+}
+
+// Now returns wall-clock time since the cluster started — the time base
+// every Observer callback reports.
+func (c *TCPCluster) Now() time.Duration { return time.Since(c.start) }
+
+// startReplica builds one replica process: transport node (through the
+// PeerView rewrite), protocol instance, fresh application state.
+func (c *TCPCluster) startReplica(id types.NodeID) error {
+	peers := make(map[types.NodeID]string, len(c.Addrs))
+	for pid, addr := range c.Addrs {
+		peers[pid] = addr
+	}
+	if c.Opts.PeerView != nil {
+		view, err := c.Opts.PeerView(id, peers)
+		if err != nil {
+			return err
+		}
+		// The node must still listen on its own real address.
+		view[id] = c.Addrs[id]
+		peers = view
+	}
+
+	node := transport.NewNode(id, peers, c.Opts.Seed)
+	if c.Opts.Trace != nil {
+		node.SetTracer(c.Opts.Trace)
+	}
+	app := kvstore.New()
+	hooks := core.Hooks{
+		OnCommit: func(id types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, proof *types.CommitProof, _ time.Duration) {
+			at := c.Now()
+			c.obsMu.Lock()
+			defer c.obsMu.Unlock()
+			for _, o := range c.Opts.Observers {
+				o.OnCommit(id, v, seq, b, proof, at)
+			}
+		},
+		OnExecute: func(id types.NodeID, seq types.SeqNum, b *types.Batch, results [][]byte, _ time.Duration) {
+			at := c.Now()
+			c.obsMu.Lock()
+			defer c.obsMu.Unlock()
+			for _, o := range c.Opts.Observers {
+				o.OnExecute(id, seq, b, results, at)
+			}
+		},
+		OnViewChange: func(id types.NodeID, v types.View, _ time.Duration) {
+			at := c.Now()
+			c.obsMu.Lock()
+			defer c.obsMu.Unlock()
+			for _, o := range c.Opts.Observers {
+				o.OnViewChange(id, v, at)
+			}
+		},
+		OnViolation: func(id types.NodeID, err error) {
+			c.obsMu.Lock()
+			defer c.obsMu.Unlock()
+			for _, o := range c.Opts.Observers {
+				o.OnViolation(id, err)
+			}
+		},
+	}
+	rep := core.NewReplica(id, c.Cfg, node, c.Reg.NewReplica(c.Cfg), app, crypto.NewAuthority(c.Opts.Seed), hooks)
+	node.SetHandler(rep)
+	if err := node.Start(); err != nil {
+		return err
+	}
+	node.Do(rep.Start)
+
+	c.mu.Lock()
+	c.replicas[id] = &tcpReplica{node: node, rep: rep, app: app}
+	c.mu.Unlock()
+	return nil
+}
+
+// KillReplica stops replica id's transport and event loop — process
+// death. In-memory protocol and application state is gone; only what
+// the protocol can recover from its peers survives.
+func (c *TCPCluster) KillReplica(id types.NodeID) {
+	c.mu.Lock()
+	r := c.replicas[id]
+	delete(c.replicas, id)
+	c.mu.Unlock()
+	if r != nil {
+		r.node.Stop()
+	}
+}
+
+// RestartReplica boots a brand-new replica process on id's original
+// address: fresh protocol state, empty store. It rejoins through the
+// protocol's own recovery path (checkpoint state transfer), exactly as
+// a respawned process would.
+func (c *TCPCluster) RestartReplica(id types.NodeID) error {
+	c.mu.Lock()
+	_, alive := c.replicas[id]
+	c.mu.Unlock()
+	if alive {
+		return fmt.Errorf("harness: replica %v is still running", id)
+	}
+	return c.startReplica(id)
+}
+
+// Submit issues one Put through the client and returns the request. The
+// caller collects completion via AwaitDone.
+func (c *TCPCluster) Submit(op []byte) *types.Request {
+	c.clientSeq++
+	req := &types.Request{
+		Client:      types.ClientIDBase,
+		ClientSeq:   c.clientSeq,
+		Op:          op,
+		ArrivalHint: int64(c.Now()),
+	}
+	c.clientNode.Do(func() { c.client.Submit(req) })
+	return req
+}
+
+// AwaitDone blocks until the client completes its next request, or
+// fails after the timeout.
+func (c *TCPCluster) AwaitDone(timeout time.Duration) (*types.Request, error) {
+	select {
+	case req := <-c.doneCh:
+		return req, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("harness: no request completed within %v", timeout)
+	}
+}
+
+// Stop shuts down the client and every live replica.
+func (c *TCPCluster) Stop() {
+	if c.clientNode != nil {
+		c.clientNode.Stop()
+	}
+	c.mu.Lock()
+	reps := make([]*tcpReplica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		reps = append(reps, r)
+	}
+	c.replicas = make(map[types.NodeID]*tcpReplica)
+	c.mu.Unlock()
+	for _, r := range reps {
+		r.node.Stop()
+	}
+}
+
+// reserveAddrs picks k distinct loopback ports.
+func reserveAddrs(k int) ([]string, error) {
+	addrs := make([]string, k)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}

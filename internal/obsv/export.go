@@ -140,6 +140,14 @@ func (t *Tracer) WriteSummary(w io.Writer) {
 		fmt.Fprint(w, "  ")
 		t.QueueDepth.Summary(w)
 	}
+	if t.OutQueueDepth.Count() > 0 {
+		fmt.Fprint(w, "  ")
+		t.OutQueueDepth.Summary(w)
+	}
+	if ts := t.TransportStats(); ts.Total() > 0 {
+		fmt.Fprintf(w, "  transport: dials=%d dial-fails=%d reconnects=%d conn-drops=%d send-drops=%d frame-rejects=%d\n",
+			ts.Dials, ts.DialFails, ts.Reconnects, ts.ConnDrops, ts.SendDrops, ts.FrameRejects)
+	}
 	if d := t.DroppedEvents(); d > 0 {
 		fmt.Fprintf(w, "  truncated events: %d (raise MaxEvents to keep the full log)\n", d)
 	}

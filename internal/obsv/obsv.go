@@ -108,6 +108,60 @@ type Keyed interface {
 	RequestRef() types.RequestKey
 }
 
+// TransportEventKind enumerates the connection-lifecycle events the TCP
+// substrate reports: dials and redials, dropped connections, dropped
+// sends (queue overflow or no route — the lossy-delivery contract made
+// visible), and rejected frames (oversized or garbage input from the
+// untrusted network).
+type TransportEventKind uint8
+
+// Transport lifecycle events.
+const (
+	// TransportDial: an outbound dial succeeded for a peer that had no
+	// previous connection.
+	TransportDial TransportEventKind = iota
+	// TransportDialFail: an outbound dial failed; the sender backs off.
+	TransportDialFail
+	// TransportReconnect: an outbound dial succeeded for a peer whose
+	// previous connection had been lost.
+	TransportReconnect
+	// TransportConnDrop: a peer's live connection was torn down (error,
+	// EOF, or superseded by the duplicate tie-break).
+	TransportConnDrop
+	// TransportSendDrop: an envelope was dropped instead of sent — no
+	// route to the peer, outbound queue overflow, or a write that died.
+	TransportSendDrop
+	// TransportFrameReject: an inbound frame violated the framing
+	// contract (oversized, zero-length, or not exactly one envelope);
+	// the connection was recycled.
+	TransportFrameReject
+)
+
+// TransportStats aggregates the transport lifecycle counters.
+type TransportStats struct {
+	Dials        int64
+	DialFails    int64
+	Reconnects   int64
+	ConnDrops    int64
+	SendDrops    int64
+	FrameRejects int64
+}
+
+func (s *TransportStats) add(o TransportStats) {
+	s.Dials += o.Dials
+	s.DialFails += o.DialFails
+	s.Reconnects += o.Reconnects
+	s.ConnDrops += o.ConnDrops
+	s.SendDrops += o.SendDrops
+	s.FrameRejects += o.FrameRejects
+}
+
+// Total sums every lifecycle counter (a cheap "anything happened" probe
+// for summaries).
+func (s TransportStats) Total() int64 {
+	return s.Dials + s.DialFails + s.Reconnects + s.ConnDrops + s.SendDrops + s.FrameRejects
+}
+
 // CryptoKind enumerates the accounted cryptographic operations.
 type CryptoKind uint8
 
@@ -189,14 +243,21 @@ type Tracer struct {
 	slotFirst map[types.SeqNum]time.Duration
 	slotDone  map[types.SeqNum]struct{}
 
+	// transport accumulates the TCP substrate's connection-lifecycle
+	// counters (guarded by mu like everything else).
+	transport TransportStats
+
 	// CommitLatency observes submit→first-commit per request (fed by
 	// harness.Metrics); QueueDepth samples the substrate's in-flight
 	// message count at each send; SlotLatency observes first-message→
 	// first-commit per slot, the replica-side proxy the live /metrics
-	// endpoint exports when no client feed exists.
+	// endpoint exports when no client feed exists; OutQueueDepth samples
+	// a peer's outbound transport queue at each enqueue (reconnect
+	// backpressure made visible).
 	CommitLatency *Histogram
 	QueueDepth    *Histogram
 	SlotLatency   *Histogram
+	OutQueueDepth *Histogram
 }
 
 // New returns an enabled tracer.
@@ -212,6 +273,7 @@ func New(opts Options) *Tracer {
 		CommitLatency: NewHistogram("commit-latency", "µs"),
 		QueueDepth:    NewHistogram("queue-depth", "msgs"),
 		SlotLatency:   NewHistogram("slot-latency", "µs"),
+		OutQueueDepth: NewHistogram("out-queue-depth", "msgs"),
 	}
 }
 
@@ -477,6 +539,49 @@ func (t *Tracer) ObserveQueueDepth(n int) {
 		return
 	}
 	t.QueueDepth.Observe(int64(n))
+}
+
+// ObserveOutQueueDepth feeds the per-peer outbound-queue histogram (the
+// TCP transport samples it at every enqueue).
+func (t *Tracer) ObserveOutQueueDepth(n int) {
+	if t == nil {
+		return
+	}
+	t.OutQueueDepth.Observe(int64(n))
+}
+
+// TransportEvent counts one connection-lifecycle event from the TCP
+// substrate.
+func (t *Tracer) TransportEvent(k TransportEventKind) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	switch k {
+	case TransportDial:
+		t.transport.Dials++
+	case TransportDialFail:
+		t.transport.DialFails++
+	case TransportReconnect:
+		t.transport.Reconnects++
+	case TransportConnDrop:
+		t.transport.ConnDrops++
+	case TransportSendDrop:
+		t.transport.SendDrops++
+	case TransportFrameReject:
+		t.transport.FrameRejects++
+	}
+	t.mu.Unlock()
+}
+
+// TransportStats returns the accumulated transport lifecycle counters.
+func (t *Tracer) TransportStats() TransportStats {
+	if t == nil {
+		return TransportStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.transport
 }
 
 // Events returns a copy of the captured event log in chronological

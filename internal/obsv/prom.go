@@ -146,7 +146,9 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 	commit := NewHistogram("commit-latency", "µs")
 	slot := NewHistogram("slot-latency", "µs")
 	queue := NewHistogram("queue-depth", "msgs")
+	outq := NewHistogram("out-queue-depth", "msgs")
 	var dropped int64
+	var tstats TransportStats
 	for _, t := range tracers {
 		if t == nil {
 			continue
@@ -154,7 +156,10 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 		commit.Merge(t.CommitLatency)
 		slot.Merge(t.SlotLatency)
 		queue.Merge(t.QueueDepth)
+		outq.Merge(t.OutQueueDepth)
 		dropped += t.DroppedEvents()
+		ts := t.TransportStats()
+		tstats.add(ts)
 	}
 	hists := []struct {
 		h    *Histogram
@@ -163,9 +168,29 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 		{commit, "Client-observed commit latency, submission to enough matching replies."},
 		{slot, "Replica-side slot latency, first ordering message to first commit."},
 		{queue, "Network substrate in-flight message count, sampled at each send."},
+		{outq, "Per-peer outbound transport queue depth, sampled at each enqueue."},
 	}
 	for _, hh := range hists {
 		if err := writePromHistogram(w, hh.h.Snapshot(), hh.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_transport_events_total TCP transport connection-lifecycle events.\n# TYPE bftkit_transport_events_total counter\n"); err != nil {
+		return err
+	}
+	tevents := []struct {
+		label string
+		v     int64
+	}{
+		{"dial", tstats.Dials},
+		{"dial_fail", tstats.DialFails},
+		{"reconnect", tstats.Reconnects},
+		{"conn_drop", tstats.ConnDrops},
+		{"send_drop", tstats.SendDrops},
+		{"frame_reject", tstats.FrameRejects},
+	}
+	for _, te := range tevents {
+		if _, err := fmt.Fprintf(w, "bftkit_transport_events_total{event=%q} %d\n", te.label, te.v); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"testing"
 
@@ -80,6 +81,81 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 		if back.From != env.From || back.Msg == nil || back.Msg.Kind() != kind {
 			t.Fatalf("round trip changed the envelope: %+v vs %+v", env, back)
+		}
+	})
+}
+
+// frameStream encodes envelopes the way wireConn.writeEnvelope does: a
+// persistent gob stream whose per-Encode output is length-prefixed.
+func frameStream(tb testing.TB, envs ...*Envelope) []byte {
+	tb.Helper()
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	var out bytes.Buffer
+	for _, env := range envs {
+		payload.Reset()
+		if err := enc.Encode(env); err != nil {
+			tb.Fatalf("seed encode: %v", err)
+		}
+		var hdr [frameHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(payload.Len()))
+		out.Write(hdr[:])
+		out.Write(payload.Bytes())
+	}
+	return out.Bytes()
+}
+
+// FuzzFrameStream feeds arbitrary bytes through the exact read path
+// readLoop runs — frame bound, per-frame decode, desync detection. The
+// contract under attack: any input either yields well-formed envelopes
+// or an error; never a panic, and never an allocation past the frame
+// bound. Seeds cover valid multi-envelope streams, truncations, hostile
+// lengths, and trailing garbage inside a frame.
+func FuzzFrameStream(f *testing.F) {
+	f.Add(frameStream(f, &Envelope{From: 1}))
+	f.Add(frameStream(f,
+		&Envelope{From: 1},
+		&Envelope{From: 2, Msg: wireMessages[0]},
+		&Envelope{From: 2, Msg: wireMessages[1]},
+	))
+	// Hostile lengths: zero, over-bound, and a huge declaration with no
+	// payload behind it.
+	hostile := make([]byte, frameHeaderLen)
+	f.Add(hostile)
+	binary.BigEndian.PutUint32(hostile, 1<<31)
+	f.Add(append([]byte{}, hostile...))
+	// Valid frame followed by a corrupted copy of itself.
+	valid := frameStream(f, &Envelope{From: 3, Msg: wireMessages[2]})
+	corrupt := append(append([]byte{}, valid...), valid...)
+	if len(corrupt) > frameHeaderLen+4 {
+		corrupt[len(valid)+frameHeaderLen+2] ^= 0xff
+	}
+	f.Add(corrupt)
+
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			t.Skip("oversized input; the interesting space is framing and stream state")
+		}
+		fr := newFrameReader(bytes.NewReader(data), maxFrame)
+		dec := gob.NewDecoder(fr)
+		for i := 0; i < 16; i++ {
+			if err := fr.next(); err != nil {
+				return
+			}
+			if got := len(fr.buf); got == 0 || got > maxFrame {
+				t.Fatalf("frame of %d bytes escaped the (0, %d] bound", got, maxFrame)
+			}
+			var env Envelope
+			if err := dec.Decode(&env); err != nil {
+				return
+			}
+			if fr.remaining() != 0 {
+				return // desync detected: readLoop drops the conn here
+			}
+			if env.Msg != nil {
+				_ = env.Msg.Kind()
+			}
 		}
 	})
 }

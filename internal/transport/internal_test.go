@@ -1,0 +1,318 @@
+package transport
+
+// White-box tests for the connection manager: dial isolation (no
+// head-of-line blocking), generation-checked drops racing reconnects,
+// and the simultaneous-dial tie-break. They run in-package so they can
+// swap the dial function and poke peer lanes directly.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/types"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// collectHandler records deliveries and signals each one.
+type collectHandler struct {
+	mu   sync.Mutex
+	msgs []types.Message
+	ch   chan struct{}
+}
+
+func newCollectHandler() *collectHandler {
+	return &collectHandler{ch: make(chan struct{}, 1024)}
+}
+
+func (h *collectHandler) Deliver(from types.NodeID, m types.Message) {
+	h.mu.Lock()
+	h.msgs = append(h.msgs, m)
+	h.mu.Unlock()
+	h.ch <- struct{}{}
+}
+
+func (h *collectHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.msgs)
+}
+
+func testAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func testMsg(seq uint64) types.Message {
+	return &core.RequestMsg{Req: &types.Request{Client: types.ClientIDBase, ClientSeq: seq, Op: []byte("x")}}
+}
+
+// TestNoHeadOfLineBlockingThroughDial pins the tentpole fix: a send to a
+// reachable peer completes promptly even while another peer's dial
+// hangs. Under the old synchronous dial-under-lock design, the hanging
+// dial held the node-wide mutex and every send on the node stalled
+// behind it.
+func TestNoHeadOfLineBlockingThroughDial(t *testing.T) {
+	addrs := testAddrs(t, 3)
+	peers := map[types.NodeID]string{0: addrs[0], 1: addrs[1], 2: addrs[2]}
+
+	b := NewNode(1, peers, 1)
+	bh := newCollectHandler()
+	b.SetHandler(bh)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	a := NewNode(0, peers, 1)
+	a.SetHandler(newCollectHandler())
+	realDial := a.dial
+	dialHold := make(chan struct{})
+	a.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		if addr == addrs[2] {
+			// Peer 2 is "unreachable through a black hole": the dial hangs
+			// until the test ends, like a SYN into a dropped route.
+			<-dialHold
+			return nil, fmt.Errorf("unreachable")
+		}
+		return realDial(addr, timeout)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer close(dialHold)
+
+	// Get the hanging dial in flight first.
+	a.Send(0, 2, testMsg(1))
+	time.Sleep(20 * time.Millisecond)
+
+	start := time.Now()
+	for i := uint64(2); i <= 11; i++ {
+		a.Send(0, 1, testMsg(i))
+	}
+	deadline := time.After(2 * time.Second)
+	for bh.count() < 10 {
+		select {
+		case <-bh.ch:
+		case <-deadline:
+			t.Fatalf("only %d/10 messages reached the reachable peer while peer 2's dial hung", bh.count())
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("sends to reachable peer took %v with another peer's dial hanging", elapsed)
+	}
+}
+
+// pipeWireConn builds a wireConn over an in-memory pipe, draining the
+// far end so writes never block.
+func pipeWireConn(n *Node, inbound bool) *wireConn {
+	c1, c2 := net.Pipe()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c2.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	wc := n.newWireConn(c1, inbound)
+	return wc
+}
+
+// TestDropConnStaleGeneration pins satellite fix (3): a failing send's
+// dropConn carries the generation it failed on, and must not evict a
+// newer replacement connection installed by a reconnect in the meantime.
+func TestDropConnStaleGeneration(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	n := NewNode(0, map[types.NodeID]string{0: addrs[0], 1: addrs[1]}, 1)
+	n.SetHandler(newCollectHandler())
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	p := n.ensurePeer(1)
+	wc1 := pipeWireConn(n, false)
+	p.mu.Lock()
+	p.cur = wc1
+	p.mu.Unlock()
+
+	// Reconnect installs a replacement before the old conn's failure is
+	// processed.
+	wc2 := pipeWireConn(n, false)
+	p.mu.Lock()
+	p.cur = wc2
+	p.mu.Unlock()
+
+	n.dropConn(p, wc1.gen) // stale failure arrives late
+	p.mu.Lock()
+	cur := p.cur
+	p.mu.Unlock()
+	if cur != wc2 {
+		t.Fatalf("stale dropConn evicted the replacement: cur=%v want gen %d", cur, wc2.gen)
+	}
+	n.dropConn(p, wc2.gen) // current failure must still work
+	p.mu.Lock()
+	cur = p.cur
+	p.mu.Unlock()
+	if cur != nil {
+		t.Fatalf("dropConn with the live generation did not clear the conn")
+	}
+}
+
+// TestDropConnReconnectRace races stale drops against installs under the
+// race detector: whatever the interleaving, a drop tagged with an old
+// generation never kills a newer connection.
+func TestDropConnReconnectRace(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	n := NewNode(0, map[types.NodeID]string{0: addrs[0], 1: addrs[1]}, 1)
+	n.SetHandler(newCollectHandler())
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	p := n.ensurePeer(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Dropper: repeatedly fails "sends" on whatever conn it last saw.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.mu.Lock()
+			var gen uint64
+			if p.cur != nil {
+				gen = p.cur.gen
+			}
+			p.mu.Unlock()
+			if gen != 0 {
+				n.dropConn(p, gen-1) // always stale by construction
+			}
+		}
+	}()
+	// Reconnector: installs ever-newer conns.
+	var last *wireConn
+	for i := 0; i < 200; i++ {
+		wc := pipeWireConn(n, false)
+		p.mu.Lock()
+		p.cur = wc
+		p.mu.Unlock()
+		last = wc
+	}
+	close(stop)
+	wg.Wait()
+	p.mu.Lock()
+	cur := p.cur
+	p.mu.Unlock()
+	if cur != last {
+		t.Fatalf("a stale drop evicted the newest connection (cur gen %v, want %v)", cur, last.gen)
+	}
+}
+
+// TestSimultaneousDialTieBreak pins satellite fix: when both sides of a
+// pair dial at the same time, both converge on the connection dialed by
+// the lower node ID, and traffic keeps flowing afterwards.
+func TestSimultaneousDialTieBreak(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	peers := map[types.NodeID]string{0: addrs[0], 1: addrs[1]}
+
+	nodes := make([]*Node, 2)
+	handlers := make([]*collectHandler, 2)
+	for i := range nodes {
+		nodes[i] = NewNode(types.NodeID(i), peers, int64(i+1))
+		handlers[i] = newCollectHandler()
+		nodes[i].SetHandler(handlers[i])
+		// Delay every dial so both sides are mid-dial before either hello
+		// lands — the guaranteed-duplicate interleaving.
+		real := nodes[i].dial
+		nodes[i].dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			time.Sleep(100 * time.Millisecond)
+			return real(addr, timeout)
+		}
+		if err := nodes[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer nodes[i].Stop()
+	}
+
+	// Trigger both dials in the same instant.
+	nodes[0].Send(0, 1, testMsg(1))
+	nodes[1].Send(1, 0, testMsg(2))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st0, ok0 := nodes[0].PeerStatus(1)
+		st1, ok1 := nodes[1].PeerStatus(0)
+		if ok0 && ok1 && st0.Connected && st1.Connected &&
+			st0.DialedBy == 0 && st1.DialedBy == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence on node 0's dial: node0=%+v node1=%+v", st0, st1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The surviving connection carries traffic both ways.
+	before0, before1 := handlers[0].count(), handlers[1].count()
+	nodes[0].Send(0, 1, testMsg(3))
+	nodes[1].Send(1, 0, testMsg(4))
+	deadline = time.Now().Add(3 * time.Second)
+	for handlers[0].count() <= before0 || handlers[1].count() <= before1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("traffic stalled after tie-break (node0 got %d→%d, node1 %d→%d)",
+				before0, handlers[0].count(), before1, handlers[1].count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Generations are stable: no connection churn after convergence.
+	st0a, _ := nodes[0].PeerStatus(1)
+	time.Sleep(150 * time.Millisecond)
+	st0b, _ := nodes[0].PeerStatus(1)
+	if !st0b.Connected || st0a.Gen != st0b.Gen {
+		t.Fatalf("connection churned after convergence: %+v then %+v", st0a, st0b)
+	}
+}
+
+// TestBackoffDelayShape pins the reconnect backoff: exponential from
+// base to cap, jittered within [0.5d, 1.5d).
+func TestBackoffDelayShape(t *testing.T) {
+	rng := newTestRand()
+	for fails := 1; fails <= 12; fails++ {
+		want := backoffBase
+		for i := 1; i < fails && want < backoffMax; i++ {
+			want *= 2
+		}
+		if want > backoffMax {
+			want = backoffMax
+		}
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(rng, fails)
+			if d < want/2 || d >= want+want/2 {
+				t.Fatalf("fails=%d: delay %v outside [%v, %v)", fails, d, want/2, want+want/2)
+			}
+		}
+	}
+}

@@ -4,13 +4,29 @@
 // event loop per node, so protocol code keeps the same single-threaded
 // contract it has on the simulator.
 //
-// Wire format: gob-encoded envelopes on persistent connections. All
-// protocol message types are registered in wire.go.
+// Wire format: length-prefixed frames carrying gob-encoded envelopes on
+// persistent connections (frame.go bounds every envelope before the
+// decoder touches it). All protocol message types are registered in
+// wire.go.
+//
+// Delivery contract: lossy, like the simulator's adversarial networks.
+// Send never blocks the caller — envelopes are queued per peer and
+// drained by a background sender that dials off the hot path with
+// jittered exponential backoff. A full queue, an unreachable peer, or a
+// connection that dies mid-write all drop messages; the protocols are
+// built for exactly that (retransmission timers, view changes). What the
+// transport does guarantee: a send to one peer never stalls behind
+// another peer's dial, FIFO order per peer on an established connection,
+// and that a hostile or corrupt stream costs its connection, never the
+// node.
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -20,7 +36,12 @@ import (
 	"bftkit/internal/types"
 )
 
-// Envelope frames one message on the wire.
+// Envelope frames one message on the wire. An envelope with a nil Msg is
+// a hello: the dialer sends it immediately after connecting so the
+// acceptor can adopt the connection as the return path to From before
+// any protocol traffic flows. From is not authenticated at this layer —
+// the crypto authority authenticates message *contents*; the untrusted
+// network is assumed to spoof, drop, and replay at will.
 type Envelope struct {
 	From types.NodeID
 	Msg  types.Message
@@ -32,52 +53,120 @@ type Handler interface {
 	Deliver(from types.NodeID, m types.Message)
 }
 
-// Node is one TCP participant: it listens for peers, keeps outbound
-// connections, and serializes all activity through its event loop.
+// DefaultQueueCap bounds each peer's outbound queue; overflow drops the
+// oldest queued envelope (the newest traffic is what keeps a protocol
+// live — old messages are superseded by retransmissions).
+const DefaultQueueCap = 4096
+
+// dialTimeout bounds one TCP connection attempt. It runs on the peer's
+// sender goroutine, never on a caller of Send.
+const dialTimeout = 2 * time.Second
+
+// Reconnect backoff: base doubles per consecutive failure up to the cap,
+// with ±50% jitter so a restarted replica isn't hammered in lockstep.
+const (
+	backoffBase = 25 * time.Millisecond
+	backoffMax  = 2 * time.Second
+)
+
+// Node is one TCP participant: it listens for peers, keeps one outbound
+// queue and at most one live connection per peer, and serializes all
+// protocol activity through its event loop.
 type Node struct {
 	id    types.NodeID
 	peers map[types.NodeID]string
+	seed  int64
 	start time.Time
 	rng   *rand.Rand
 
+	maxFrame int
+	queueCap int
+
 	events  chan func()
 	handler Handler
+	tracer  *obsv.Tracer
 
-	mu    sync.Mutex
-	conns map[types.NodeID]*wireConn
+	// dial is swappable so tests can make dials hang or fail
+	// deterministically without touching the kernel.
+	dial func(addr string, timeout time.Duration) (net.Conn, error)
 
-	tracer *obsv.Tracer
+	mu      sync.Mutex
+	peerSt  map[types.NodeID]*peer
+	open    map[*wireConn]struct{}
+	nextGen uint64
+
+	// stopMu serializes goroutine starts against Stop: a tracked
+	// goroutine may only start while stopped is false, so wg.Add never
+	// races wg.Wait.
+	stopMu  sync.RWMutex
+	stopped bool
 
 	listener net.Listener
 	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
-// wireConn is one outbound gob stream plus its byte counter. The mutex
-// serializes Encode calls (Send may race with connection adoption) and
-// makes the before/after counter delta attributable to one message.
+// wireConn is one live socket: a framed gob stream, its byte counter,
+// and the identity bookkeeping the connection manager needs. gen rises
+// monotonically per node, so a stale failure can never evict the
+// replacement connection that superseded it.
 type wireConn struct {
-	mu    sync.Mutex
-	enc   *gob.Encoder
-	total func() int64
+	c       net.Conn
+	gen     uint64
+	inbound bool // accepted (true) vs dialed by this node (false)
+
+	// dialer is the node that initiated the connection: this node for
+	// dialed conns, the claimed Envelope.From for adopted inbound ones.
+	// The duplicate-connection tie-break keys on it.
+	dialer types.NodeID
+
+	// peer/hasPeer bind the conn to a peer slot once known. Written only
+	// by the goroutine that installs the conn, before it is published.
+	peer    types.NodeID
+	hasPeer bool
+
+	mu      sync.Mutex // serializes writes (sender vs hello vs tie-break)
+	enc     *gob.Encoder
+	buf     bytes.Buffer
+	scratch []byte
+	w       io.Writer
+	total   func() int64
 }
 
-// newWireConn wraps w in a counted gob stream.
-func newWireConn(w interface{ Write([]byte) (int, error) }) *wireConn {
-	cw, total := obsv.WriteCounted(w)
-	return &wireConn{enc: gob.NewEncoder(cw), total: total}
+// peer is one outbound lane: the queue Send appends to, the current
+// connection (nil while disconnected), and the sender bookkeeping.
+type peer struct {
+	id   types.NodeID
+	addr string // "" for adopted-only peers (clients are not in the table)
+	rng  *rand.Rand
+
+	mu        sync.Mutex
+	queue     []*Envelope
+	cur       *wireConn
+	running   bool // a sender goroutine is draining the queue
+	dialFails int  // consecutive failures, drives backoff
+	connected bool // a connection has existed at some point (dial vs reconnect)
 }
 
 // NewNode creates a node addressed by id with a static peer table
 // (id → "host:port" for every participant, including this one).
 func NewNode(id types.NodeID, peers map[types.NodeID]string, seed int64) *Node {
 	return &Node{
-		id:     id,
-		peers:  peers,
-		start:  time.Now(),
-		rng:    rand.New(rand.NewSource(seed ^ int64(id))),
-		events: make(chan func(), 4096),
-		conns:  make(map[types.NodeID]*wireConn),
-		done:   make(chan struct{}),
+		id:       id,
+		peers:    peers,
+		seed:     seed,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(seed ^ int64(id))),
+		maxFrame: DefaultMaxFrame,
+		queueCap: DefaultQueueCap,
+		events:   make(chan func(), 4096),
+		peerSt:   make(map[types.NodeID]*peer),
+		open:     make(map[*wireConn]struct{}),
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+		done: make(chan struct{}),
 	}
 }
 
@@ -88,6 +177,24 @@ func (n *Node) SetHandler(h Handler) { n.handler = h }
 // reported with the actual wire bytes that crossed the socket. Pass nil
 // to detach. Must be set before Start.
 func (n *Node) SetTracer(t *obsv.Tracer) { n.tracer = t }
+
+// SetMaxFrame bounds one envelope on the wire (default DefaultMaxFrame).
+// Inbound frames over the bound cost the connection; outbound envelopes
+// over it are dropped. Must be set before Start and match across the
+// deployment.
+func (n *Node) SetMaxFrame(bytes int) {
+	if bytes > 0 {
+		n.maxFrame = bytes
+	}
+}
+
+// SetQueueCap bounds each peer's outbound queue (default
+// DefaultQueueCap). Must be set before Start.
+func (n *Node) SetQueueCap(msgs int) {
+	if msgs > 0 {
+		n.queueCap = msgs
+	}
+}
 
 // Start listens on the node's own address and runs the event loop until
 // Stop. It returns once the listener is ready.
@@ -101,16 +208,70 @@ func (n *Node) Start() error {
 		return fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n.listener = ln
-	go n.acceptLoop()
-	go n.eventLoop()
+	n.goTracked(n.acceptLoop)
+	n.goTracked(n.eventLoop)
 	return nil
 }
 
-// Stop shuts the node down.
+// Stop shuts the node down: no new goroutines start, the listener and
+// every live connection close (unblocking reads and in-flight writes),
+// and Stop waits for every sender, read loop, and the event loop to
+// exit. Safe to call more than once.
 func (n *Node) Stop() {
-	close(n.done)
-	if n.listener != nil {
-		n.listener.Close()
+	n.stopOnce.Do(func() {
+		n.stopMu.Lock()
+		n.stopped = true
+		n.stopMu.Unlock()
+		close(n.done)
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.mu.Lock()
+		conns := make([]*wireConn, 0, len(n.open))
+		for wc := range n.open {
+			conns = append(conns, wc)
+		}
+		n.mu.Unlock()
+		for _, wc := range conns {
+			wc.c.Close()
+		}
+		n.wg.Wait()
+	})
+}
+
+// goTracked starts fn under the WaitGroup unless the node is stopping.
+func (n *Node) goTracked(fn func()) bool {
+	n.stopMu.RLock()
+	defer n.stopMu.RUnlock()
+	if n.stopped {
+		return false
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+func (n *Node) stopping() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until Stop, reporting whether the full wait elapsed.
+func (n *Node) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.done:
+		return false
 	}
 }
 
@@ -136,20 +297,113 @@ func (n *Node) acceptLoop() {
 				continue
 			}
 		}
-		go n.readLoop(conn)
+		wc := n.newWireConn(conn, true)
+		if wc == nil || !n.goTracked(func() { n.readLoop(wc) }) {
+			conn.Close()
+			return
+		}
 	}
 }
 
-func (n *Node) readLoop(conn net.Conn) {
-	defer conn.Close()
-	cr, rtotal := obsv.ReadCounted(conn)
-	dec := gob.NewDecoder(cr)
-	var adopted bool
-	var enc *wireConn
+// newWireConn wraps a socket in a counted, framed gob stream and tracks
+// it for Stop. Returns nil when the node is already stopping.
+func (n *Node) newWireConn(c net.Conn, inbound bool) *wireConn {
+	w, total := obsv.WriteCounted(c)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextGen++
+	wc := &wireConn{
+		c:       c,
+		gen:     n.nextGen,
+		inbound: inbound,
+		w:       w,
+		total:   total,
+	}
+	wc.enc = gob.NewEncoder(&wc.buf)
+	if !inbound {
+		wc.dialer = n.id
+	}
+	if n.stoppedLocked() {
+		return nil
+	}
+	n.open[wc] = struct{}{}
+	return wc
+}
+
+// stoppedLocked reads the stop flag without the stopMu (n.mu held; the
+// only writer of stopped also closes every conn after taking n.mu, so a
+// conn registered here is either seen by Stop or its creator sees
+// stopped — never neither).
+func (n *Node) stoppedLocked() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Node) removeOpen(wc *wireConn) {
+	n.mu.Lock()
+	delete(n.open, wc)
+	n.mu.Unlock()
+}
+
+// writeEnvelope encodes env into one length-prefixed frame and writes it
+// out, returning the wire bytes that crossed the socket. An envelope
+// that encodes past max poisons the stream (the encoder's descriptor
+// state now references types the peer never saw), so the caller must
+// recycle the connection on any error.
+func (wc *wireConn) writeEnvelope(env *Envelope, max int) (int, error) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	wc.buf.Reset()
+	if err := wc.enc.Encode(env); err != nil {
+		return 0, err
+	}
+	payload := wc.buf.Bytes()
+	if len(payload) > max {
+		return 0, frameSizeError{declared: uint32(len(payload)), max: max}
+	}
+	need := frameHeaderLen + len(payload)
+	if cap(wc.scratch) < need {
+		wc.scratch = make([]byte, need)
+	}
+	frame := wc.scratch[:need]
+	binary.BigEndian.PutUint32(frame[:frameHeaderLen], uint32(len(payload)))
+	copy(frame[frameHeaderLen:], payload)
+	before := wc.total()
+	_, err := wc.w.Write(frame)
+	return int(wc.total() - before), err
+}
+
+// readLoop drains one connection: framed envelopes are decoded under the
+// frame bound and handed to the event loop. Any error — disconnect,
+// oversized frame, garbage — closes and detaches the connection; the
+// node itself never dies with it.
+func (n *Node) readLoop(wc *wireConn) {
+	defer n.detachConn(wc)
+	cr, rtotal := obsv.ReadCounted(wc.c)
+	fr := newFrameReader(cr, n.maxFrame)
+	dec := gob.NewDecoder(fr)
+	adopted := !wc.inbound
 	for {
 		before := rtotal()
+		if err := fr.next(); err != nil {
+			if isFrameViolation(err) {
+				n.tracer.TransportEvent(obsv.TransportFrameReject)
+			}
+			return
+		}
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
+			// A frame that does not decode as exactly one envelope is
+			// hostile or corrupt; the stream cannot be trusted further.
+			n.tracer.TransportEvent(obsv.TransportFrameReject)
+			return
+		}
+		if fr.remaining() != 0 {
+			n.tracer.TransportEvent(obsv.TransportFrameReject)
 			return
 		}
 		size := int(rtotal() - before)
@@ -159,15 +413,12 @@ func (n *Node) readLoop(conn net.Conn) {
 			// replies must flow back over the connection the request
 			// arrived on.
 			adopted = true
-			enc = newWireConn(conn)
-			n.mu.Lock()
-			if _, ok := n.conns[env.From]; !ok {
-				n.conns[env.From] = enc
-			}
-			n.mu.Unlock()
+			n.adopt(env.From, wc)
 		}
-		msg := env.Msg
-		from := env.From
+		if env.Msg == nil {
+			continue // hello/keepalive: adoption was its whole job
+		}
+		from, msg := env.From, env.Msg
 		n.tracer.MsgDelivered(n.Now(), from, n.id, msg, size)
 		select {
 		case n.events <- func() { n.handler.Deliver(from, msg) }:
@@ -176,6 +427,255 @@ func (n *Node) readLoop(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// preferNew decides a duplicate-connection tie for peer p: of two live
+// connections for the same pair, the one dialed by the lower node ID
+// wins — both ends compute the same winner independently, so a
+// simultaneous dial converges on one socket instead of ping-ponging.
+// When both conns were initiated by the same side, the newer replaces
+// the older (that side discarded its previous socket).
+func (n *Node) preferNew(old, neu *wireConn, p types.NodeID) bool {
+	if old.dialer == neu.dialer {
+		return true
+	}
+	low := n.id
+	if p < low {
+		low = p
+	}
+	return neu.dialer == low
+}
+
+// adopt installs an inbound connection as peer id's return path,
+// resolving duplicates by the tie-break. Called by the conn's own read
+// loop on the first envelope.
+func (n *Node) adopt(id types.NodeID, wc *wireConn) {
+	wc.dialer = id
+	wc.peer = id
+	wc.hasPeer = true
+	p := n.ensurePeer(id)
+	p.mu.Lock()
+	keep := true
+	if old := p.cur; old != nil && old != wc {
+		keep = n.preferNew(old, wc, id)
+		if keep {
+			old.c.Close() // its read loop detaches it; p.cur already moved on
+		}
+	}
+	if keep {
+		p.cur = wc
+		p.dialFails = 0
+		p.connected = true
+		n.startSenderLocked(p)
+	}
+	p.mu.Unlock()
+	if !keep {
+		wc.c.Close()
+	}
+}
+
+// detachConn runs when a read loop exits: the socket closes, and if the
+// conn was the peer's current one it is unlinked — generation identity,
+// not peer ID, decides, so a replacement installed in the meantime is
+// never evicted by its predecessor's death.
+func (n *Node) detachConn(wc *wireConn) {
+	wc.c.Close()
+	n.removeOpen(wc)
+	if !wc.hasPeer {
+		return
+	}
+	p := n.lookupPeer(wc.peer)
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.cur != nil && p.cur.gen == wc.gen {
+		p.cur = nil
+		n.tracer.TransportEvent(obsv.TransportConnDrop)
+		if p.addr == "" {
+			// Replies queued for a vanished client are undeliverable and
+			// would only go stale; the client retransmits on reconnect.
+			for range p.queue {
+				n.tracer.TransportEvent(obsv.TransportSendDrop)
+			}
+			p.queue = nil
+		} else {
+			n.startSenderLocked(p) // pending sends trigger the redial
+		}
+	}
+	p.mu.Unlock()
+}
+
+// lookupPeer returns the peer lane if one exists.
+func (n *Node) lookupPeer(id types.NodeID) *peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peerSt[id]
+}
+
+// ensurePeer returns the peer lane, creating it on first contact.
+func (n *Node) ensurePeer(id types.NodeID) *peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.peerSt[id]
+	if p == nil {
+		p = &peer{
+			id:   id,
+			addr: n.peers[id],
+			rng:  rand.New(rand.NewSource(n.seed ^ int64(n.id)<<20 ^ int64(id))),
+		}
+		n.peerSt[id] = p
+	}
+	return p
+}
+
+// startSenderLocked launches the peer's sender if there is work it can
+// make progress on. Caller holds p.mu.
+func (n *Node) startSenderLocked(p *peer) {
+	if p.running || len(p.queue) == 0 {
+		return
+	}
+	if p.cur == nil && p.addr == "" {
+		return // adopted-only peer with no live conn: nothing to drain into
+	}
+	p.running = true
+	if !n.goTracked(func() { n.runSender(p) }) {
+		p.running = false
+	}
+}
+
+// runSender drains one peer's queue: it dials (with backoff) when
+// disconnected and an address is known, writes queued envelopes FIFO,
+// and exits when the queue is empty or no progress is possible — Send
+// and adopt restart it on new work.
+func (n *Node) runSender(p *peer) {
+	for {
+		p.mu.Lock()
+		if n.stopping() || len(p.queue) == 0 || (p.cur == nil && p.addr == "") {
+			p.running = false
+			p.mu.Unlock()
+			return
+		}
+		wc := p.cur
+		var env *Envelope
+		if wc != nil {
+			env = p.queue[0]
+			p.queue[0] = nil
+			p.queue = p.queue[1:]
+		}
+		p.mu.Unlock()
+
+		if wc == nil {
+			n.dialPeer(p)
+			continue
+		}
+		size, err := wc.writeEnvelope(env, n.maxFrame)
+		if err != nil {
+			// The envelope is lost (lossy contract) and the stream is
+			// unusable; recycle the connection and let the loop redial.
+			n.dropConn(p, wc.gen)
+			wc.c.Close()
+			n.tracer.TransportEvent(obsv.TransportSendDrop)
+			if isFrameViolation(err) {
+				n.tracer.TransportEvent(obsv.TransportFrameReject)
+			}
+			continue
+		}
+		if env.Msg != nil {
+			n.tracer.MsgSent(n.Now(), env.From, p.id, env.Msg, size)
+		}
+	}
+}
+
+// dialPeer attempts one connection to p off the hot path, sleeping the
+// jittered backoff on failure. On success the conn is installed under
+// the same tie-break adoption uses, so a dial racing an inbound adopt
+// converges instead of fighting.
+func (n *Node) dialPeer(p *peer) {
+	c, err := n.dial(p.addr, dialTimeout)
+	if err != nil {
+		n.tracer.TransportEvent(obsv.TransportDialFail)
+		p.mu.Lock()
+		p.dialFails++
+		d := backoffDelay(p.rng, p.dialFails)
+		p.mu.Unlock()
+		n.sleep(d)
+		return
+	}
+	wc := n.newWireConn(c, false)
+	if wc == nil {
+		c.Close()
+		return
+	}
+	wc.peer = p.id
+	wc.hasPeer = true
+	// Identify ourselves before any protocol traffic so the acceptor can
+	// adopt this socket as its return path to us.
+	if _, err := wc.writeEnvelope(&Envelope{From: n.id}, n.maxFrame); err != nil {
+		n.removeOpen(wc)
+		wc.c.Close()
+		p.mu.Lock()
+		p.dialFails++
+		d := backoffDelay(p.rng, p.dialFails)
+		p.mu.Unlock()
+		n.sleep(d)
+		return
+	}
+	p.mu.Lock()
+	keep := true
+	if old := p.cur; old != nil {
+		keep = n.preferNew(old, wc, p.id)
+		if keep {
+			old.c.Close()
+		}
+	}
+	var reconnect bool
+	if keep {
+		p.cur = wc
+		p.dialFails = 0
+		reconnect = p.connected
+		p.connected = true
+	}
+	p.mu.Unlock()
+	if !keep {
+		n.removeOpen(wc)
+		wc.c.Close()
+		return
+	}
+	if reconnect {
+		n.tracer.TransportEvent(obsv.TransportReconnect)
+	} else {
+		n.tracer.TransportEvent(obsv.TransportDial)
+	}
+	if !n.goTracked(func() { n.readLoop(wc) }) {
+		wc.c.Close()
+	}
+}
+
+// dropConn unlinks the peer's current connection only if it still is
+// gen — a failing send can never evict the newer replacement that a
+// reconnect installed while the failure was in flight.
+func (n *Node) dropConn(p *peer, gen uint64) {
+	p.mu.Lock()
+	if p.cur != nil && p.cur.gen == gen {
+		p.cur = nil
+		n.tracer.TransportEvent(obsv.TransportConnDrop)
+	}
+	p.mu.Unlock()
+}
+
+// backoffDelay is the jittered exponential reconnect delay after `fails`
+// consecutive dial failures: base·2^(fails−1) capped at backoffMax, then
+// spread over [0.5×, 1.5×) so peers don't redial in lockstep.
+func backoffDelay(rng *rand.Rand, fails int) time.Duration {
+	d := backoffBase
+	for i := 1; i < fails && d < backoffMax; i++ {
+		d *= 2
+	}
+	if d > backoffMax {
+		d = backoffMax
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
 }
 
 // Do runs fn on the event loop, serialized with message delivery and
@@ -212,52 +712,107 @@ func (n *Node) After(d time.Duration, fn func()) func() {
 }
 
 // Send implements core.Driver: best-effort delivery over a persistent
-// connection, re-dialed on failure (the network is allowed to be lossy —
-// the protocols are built for that).
+// connection. It never blocks and never dials — the envelope joins the
+// peer's queue and the sender drains it, so one unreachable peer cannot
+// head-of-line-block traffic to the others. Messages are dropped when
+// the peer is unknown, the queue overflows, or the connection dies
+// mid-write; the network is allowed to be lossy and the protocols are
+// built for that.
 func (n *Node) Send(from, to types.NodeID, m types.Message) {
-	c := n.conn(to)
-	if c == nil {
+	if n.stopping() {
 		return
 	}
-	c.mu.Lock()
-	before := c.total()
-	err := c.enc.Encode(&Envelope{From: from, Msg: m})
-	size := int(c.total() - before)
-	c.mu.Unlock()
-	if err != nil {
-		n.dropConn(to)
+	if to == n.id {
+		// Local loopback: no socket, but the same event-loop delivery and
+		// accounting (sized as the wire would have sized it).
+		size := obsv.SizeOf(m) + frameHeaderLen
+		n.tracer.MsgSent(n.Now(), from, to, m, size)
+		n.tracer.MsgDelivered(n.Now(), from, to, m, size)
+		select {
+		case n.events <- func() { n.handler.Deliver(from, m) }:
+		case <-n.done:
+		}
 		return
 	}
-	n.tracer.MsgSent(n.Now(), from, to, m, size)
+	p := n.lookupPeer(to)
+	if p == nil {
+		if _, ok := n.peers[to]; !ok {
+			// Unknown peer with no adopted connection: undeliverable.
+			n.tracer.TransportEvent(obsv.TransportSendDrop)
+			return
+		}
+		p = n.ensurePeer(to)
+	}
+	env := &Envelope{From: from, Msg: m}
+	p.mu.Lock()
+	if p.cur == nil && p.addr == "" {
+		// The adopted connection this peer arrived on is gone and there
+		// is no address to redial; queuing would only hold stale replies.
+		p.mu.Unlock()
+		n.tracer.TransportEvent(obsv.TransportSendDrop)
+		return
+	}
+	if len(p.queue) >= n.queueCap {
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		n.tracer.TransportEvent(obsv.TransportSendDrop)
+	}
+	p.queue = append(p.queue, env)
+	n.tracer.ObserveOutQueueDepth(len(p.queue))
+	n.startSenderLocked(p)
+	p.mu.Unlock()
 }
 
-func (n *Node) conn(to types.NodeID) *wireConn {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if c, ok := n.conns[to]; ok {
-		return c
-	}
-	addr, ok := n.peers[to]
-	if !ok {
-		return nil
-	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-	if err != nil {
-		return nil
-	}
-	wc := newWireConn(c)
-	n.conns[to] = wc
-	// Connections are bidirectional: the peer may answer (or push) on
-	// the same socket — e.g. replicas replying to a client over the
-	// connection its request arrived on.
-	go n.readLoop(c)
-	return wc
+// PeerStatus is one peer lane's live state, for ops surfaces and tests.
+type PeerStatus struct {
+	Peer      types.NodeID
+	Addr      string
+	Connected bool
+	Gen       uint64       // current connection's generation (when connected)
+	DialedBy  types.NodeID // which side dialed the current connection
+	QueueLen  int
 }
 
-func (n *Node) dropConn(to types.NodeID) {
+// PeerStatuses snapshots every peer lane, sorted by peer ID.
+func (n *Node) PeerStatuses() []PeerStatus {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.conns, to)
+	ps := make([]*peer, 0, len(n.peerSt))
+	for _, p := range n.peerSt {
+		ps = append(ps, p)
+	}
+	n.mu.Unlock()
+	out := make([]PeerStatus, 0, len(ps))
+	for _, p := range ps {
+		p.mu.Lock()
+		st := PeerStatus{Peer: p.id, Addr: p.addr, QueueLen: len(p.queue)}
+		if p.cur != nil {
+			st.Connected = true
+			st.Gen = p.cur.gen
+			st.DialedBy = p.cur.dialer
+		}
+		p.mu.Unlock()
+		out = append(out, st)
+	}
+	sortPeerStatuses(out)
+	return out
+}
+
+// PeerStatus returns one peer's lane state and whether the lane exists.
+func (n *Node) PeerStatus(id types.NodeID) (PeerStatus, bool) {
+	for _, st := range n.PeerStatuses() {
+		if st.Peer == id {
+			return st, true
+		}
+	}
+	return PeerStatus{}, false
+}
+
+func sortPeerStatuses(s []PeerStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Peer < s[j-1].Peer; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // ParsePeers parses "0=host:port,1=host:port,..." into a peer table.

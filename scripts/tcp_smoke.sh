@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Real-TCP smoke run: boot a 4-node pbft cluster (separate processes,
+# localhost sockets) and push a small closed-loop workload through it
+# with bftclient. This is the only place CI exercises the actual
+# binaries end to end — process boundaries, flag parsing, real dials,
+# reply paths — rather than in-process test clusters.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROTO="${PROTO:-pbft}"
+REQUESTS="${REQUESTS:-25}"
+BASE_PORT="${BASE_PORT:-42710}"
+
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/bftnode" ./cmd/bftnode
+go build -o "$BIN/bftclient" ./cmd/bftclient
+
+PEERS="0=127.0.0.1:$BASE_PORT,1=127.0.0.1:$((BASE_PORT+1)),2=127.0.0.1:$((BASE_PORT+2)),3=127.0.0.1:$((BASE_PORT+3))"
+for i in 0 1 2 3; do
+    "$BIN/bftnode" -id "$i" -protocol "$PROTO" -peers "$PEERS" >"$LOGS/node$i.log" 2>&1 &
+    pids+=($!)
+done
+
+# Wait for every node to accept connections before starting the client.
+for i in 0 1 2 3; do
+    port=$((BASE_PORT+i))
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "node $i never listened on :$port" >&2
+    cat "$LOGS/node$i.log" >&2
+    exit 1
+done
+
+if ! "$BIN/bftclient" -protocol "$PROTO" -peers "$PEERS" \
+        -listen "127.0.0.1:$((BASE_PORT+100))" -requests "$REQUESTS" | tee "$LOGS/client.log"; then
+    echo "--- client failed; node logs follow ---" >&2
+    tail -n 20 "$LOGS"/node*.log >&2
+    exit 1
+fi
+
+grep -q "^$REQUESTS requests against $PROTO" "$LOGS/client.log" || {
+    echo "client did not report $REQUESTS completed requests" >&2
+    exit 1
+}
+echo "tcp smoke OK: $REQUESTS requests committed over $PROTO (n=4)"
