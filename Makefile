@@ -27,8 +27,8 @@ test: ## full test suite
 race: ## full test suite under the race detector
 	go test -race ./...
 
-bench: ## trace-overhead + protocol benchmarks (BENCH=<regex> filters)
-	go test -bench='$(BENCH)' -benchmem -run=^$$ .
+bench: ## trace-overhead + protocol + verify-engine benchmarks (BENCH=<regex> filters)
+	go test -bench='$(BENCH)' -benchmem -run=^$$ . ./internal/crypto/vpool
 
 bench-snapshot: ## run the perf matrix, write BENCH_head.json
 	go run ./cmd/bftbench -snapshot BENCH_head.json

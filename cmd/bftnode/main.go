@@ -19,10 +19,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
+	"bftkit/internal/crypto/vpool"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
 	"bftkit/internal/transport"
@@ -39,6 +41,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print the per-phase message/byte/crypto breakdown on shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz, and /debug/pprof on this address")
 	maxFrame := flag.Int("max-frame", 0, "max wire frame in bytes, must match across the deployment (0 = 4 MiB default)")
+	verifyWorkers := flag.Int("verify-workers", runtime.NumCPU(), "signature-verification pool size; >0 also verifies inbound messages asynchronously off the event loop (0 = synchronous)")
+	verifyCache := flag.Int("verify-cache", vpool.DefaultCache, "signature-memo and certificate-cache bound in entries (0 = disable the verification engine)")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -68,6 +72,7 @@ func main() {
 	node.SetMaxFrame(*maxFrame)
 	auth := crypto.NewAuthority(*seed)
 	var tracer *obsv.Tracer
+	var engine *vpool.Engine
 	if *stats || *metricsAddr != "" {
 		tracer = obsv.New(obsv.Options{Label: fmt.Sprintf("%s/r%d", *proto, *id)})
 		node.SetTracer(tracer)
@@ -83,6 +88,13 @@ func main() {
 				tracer.CryptoOp(nid, obsv.CryptoMACVerify)
 			}
 		})
+	}
+	if *verifyCache > 0 {
+		engine = vpool.New(auth, vpool.Options{Workers: *verifyWorkers, Cache: *verifyCache, Tracer: tracer})
+		auth.SetEngine(engine)
+		if *verifyWorkers > 0 {
+			node.SetInboundPrepare(engine.Prepare())
+		}
 	}
 	hooks := core.Hooks{
 		Trace: tracer,
@@ -121,6 +133,9 @@ func main() {
 		ops.Close()
 	}
 	node.Stop()
+	if engine != nil {
+		engine.Stop()
+	}
 	if *stats {
 		tracer.WriteSummary(os.Stdout)
 	}

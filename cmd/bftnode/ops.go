@@ -19,6 +19,10 @@ type opsHealth struct {
 	Node          int                  `json:"node"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Transport     *obsv.TransportStats `json:"transport,omitempty"`
+	// VerifyPool reports the verification engine's mechanism counters
+	// (work performed vs recalled, garbage rejected); present only when
+	// the engine has been active.
+	VerifyPool *obsv.VerifyPoolStats `json:"verify_pool,omitempty"`
 }
 
 // opsMux assembles the live ops surface served on -metrics-addr: the
@@ -42,6 +46,9 @@ func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer) *http.Ser
 		if tr != nil {
 			ts := tr.TransportStats()
 			h.Transport = &ts
+			if vs := tr.VerifyPoolStats(); vs.Total() > 0 {
+				h.VerifyPool = &vs
+			}
 		}
 		json.NewEncoder(w).Encode(h)
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bftkit/internal/crypto"
 	"bftkit/internal/ledger"
 	"bftkit/internal/types"
 )
@@ -15,6 +16,12 @@ func (*RequestMsg) Kind() string { return "REQUEST" }
 
 // RequestRef implements obsv.Keyed: a request message is about itself.
 func (m *RequestMsg) RequestRef() types.RequestKey { return m.Req.Key() }
+
+// SigClaims implements crypto.SigClaimer: the client's signature over
+// the request digest, which every replica verifies on receipt.
+func (m *RequestMsg) SigClaims(types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: m.Req.Client, Digest: m.Req.Digest(), Sig: m.Req.Sig}}
+}
 
 // ReplyMsg carries a replica's reply back to a client.
 type ReplyMsg struct {
@@ -34,6 +41,12 @@ func (m *ReplyMsg) RequestRef() types.RequestKey {
 // Slot implements obsv.Slotted.
 func (m *ReplyMsg) Slot() (types.View, types.SeqNum) { return m.R.View, m.R.Seq }
 
+// SigClaims implements crypto.SigClaimer: the replica's reply signature,
+// which the client verifies before counting the vote.
+func (m *ReplyMsg) SigClaims(types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: m.R.Replica, Digest: m.R.Digest(), Sig: m.R.Sig}}
+}
+
 // ForwardMsg relays a request from a backup to the current leader, the
 // standard liveness mechanism when clients send to the wrong replica.
 type ForwardMsg struct {
@@ -45,6 +58,12 @@ func (*ForwardMsg) Kind() string { return "FORWARD" }
 
 // RequestRef implements obsv.Keyed.
 func (m *ForwardMsg) RequestRef() types.RequestKey { return m.Req.Key() }
+
+// SigClaims implements crypto.SigClaimer: a forward relays the client's
+// signed request, so the claim is the client's, not the forwarder's.
+func (m *ForwardMsg) SigClaims(types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: m.Req.Client, Digest: m.Req.Digest(), Sig: m.Req.Sig}}
+}
 
 // CheckpointMsg announces a replica's checkpoint at a sequence number
 // (dimension P4). Shared by every protocol that embeds CheckpointManager.
@@ -63,6 +82,12 @@ func (m *CheckpointMsg) Digest() types.Digest {
 	var h types.Hasher
 	h.Str("checkpoint").U64(uint64(m.Seq)).Digest(m.StateHash).U64(uint64(m.Replica))
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the announcing replica's
+// signature over the checkpoint claim.
+func (m *CheckpointMsg) SigClaims(types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: m.Replica, Digest: m.Digest(), Sig: m.Sig}}
 }
 
 // FetchStateMsg asks a peer for the snapshot behind a stable checkpoint

@@ -94,6 +94,43 @@ const (
 // without identity (the legacy shared Verifier).
 type Observer func(node types.NodeID, op Op)
 
+// Engine is a pluggable signature-verification backend (implemented by
+// internal/crypto/vpool). The split keeps the *cost model* here and the
+// *mechanism* there: Verifier and Certificate charge Stats and the
+// observer for every protocol-required check exactly as the inline code
+// does, then delegate the raw Ed25519 work to the engine, which may
+// memoize or parallelize it. An engine therefore changes host CPU time
+// only — never the accounted operation counts the deterministic perf
+// snapshots pin.
+type Engine interface {
+	// VerifySig performs (or recalls from a positive-only memo) one raw
+	// Ed25519 verification of sig by signer over d.
+	VerifySig(pub ed25519.PublicKey, signer types.NodeID, d types.Digest, sig []byte) bool
+	// CertCached reports whether the certificate fact "this exact signer
+	// set validly signed d" was established by a previous full verify.
+	CertCached(d types.Digest, signers []types.NodeID) bool
+	// CertStore records that fact after a successful full verify.
+	CertStore(d types.Digest, signers []types.NodeID)
+}
+
+// SigClaim is one verifiable assertion a message carries: "Signer signed
+// Digest, here is the signature". The transport's async inbound-verify
+// stage batch-checks claims off the event loop to warm the engine memo;
+// the protocol's own inline verify remains the sole rejection authority.
+type SigClaim struct {
+	Signer types.NodeID
+	Digest types.Digest
+	Sig    []byte
+}
+
+// SigClaimer is implemented by messages that can expose their signature
+// claims for pre-verification. from is the transport-level sender, which
+// claims whose signer the message does not name (e.g. a PBFT pre-prepare
+// is implicitly signed by the view's leader — the sender, when honest).
+type SigClaimer interface {
+	SigClaims(from types.NodeID) []SigClaim
+}
+
 // Authority owns the key material of one deployment: an Ed25519 keypair
 // per participant and a pairwise MAC key per (ordered) participant pair.
 // Keys are derived lazily and deterministically from the authority seed.
@@ -106,8 +143,25 @@ type Authority struct {
 	macKeys map[[2]types.NodeID][]byte
 
 	observer atomic.Value // Observer
+	engine   atomic.Value // Engine
 
 	Stats Stats
+}
+
+// SetEngine installs a verification engine (nil to remove). The engine
+// only replaces the raw Ed25519 work; all Stats/observer accounting stays
+// in this package and is unchanged by the swap.
+func (a *Authority) SetEngine(e Engine) { a.engine.Store(engineBox{e}) }
+
+// engineBox wraps the interface so storing a nil Engine (to uninstall)
+// does not panic atomic.Value's consistent-type check.
+type engineBox struct{ e Engine }
+
+func (a *Authority) getEngine() Engine {
+	if b, ok := a.engine.Load().(engineBox); ok {
+		return b.e
+	}
+	return nil
 }
 
 // SetObserver installs a per-operation callback (nil to remove). The
@@ -166,6 +220,13 @@ func (a *Authority) macKey(x, y types.NodeID) []byte {
 	key := k[:]
 	a.macKeys[pair] = key
 	return key
+}
+
+// PublicKey returns one participant's public key (deriving the pair on
+// first use). Engines use it to verify claims without private access.
+func (a *Authority) PublicKey(id types.NodeID) ed25519.PublicKey {
+	_, pub := a.keyFor(id)
+	return pub
 }
 
 // Signer returns the signing handle for one participant.
@@ -227,12 +288,29 @@ type Verifier struct {
 	id   types.NodeID
 }
 
-// VerifySig reports whether sig is a valid signature by id over d.
+// VerifySig reports whether sig is a valid signature by id over d. The
+// check is always charged to Stats and the observer; the raw Ed25519
+// work goes through the installed engine when one is present.
 func (v *Verifier) VerifySig(id types.NodeID, d types.Digest, sig []byte) bool {
 	_, pub := v.auth.keyFor(id)
 	v.auth.Stats.VerifyOps.Add(1)
 	v.auth.observe(v.id, OpVerify)
+	if e := v.auth.getEngine(); e != nil {
+		return e.VerifySig(pub, id, d, sig)
+	}
 	return ed25519.Verify(pub, d[:], sig)
+}
+
+// AccountVerifies charges n signature verifications to Stats and the
+// observer without performing them — the bill for a certificate the
+// engine recalled from cache. The protocol required those checks; the
+// engine merely already knows their answer, and the cost model must not
+// see the difference.
+func (v *Verifier) AccountVerifies(n int) {
+	v.auth.Stats.VerifyOps.Add(int64(n))
+	for i := 0; i < n; i++ {
+		v.auth.observe(v.id, OpVerify)
+	}
 }
 
 // VerifyMAC reports whether mac is a valid tag from `from` to `to` on d.
@@ -276,6 +354,14 @@ func (c *Certificate) Size() int { return len(c.Signers) }
 
 // Verify checks the certificate contains at least quorum valid signatures
 // from distinct replicas over c.Digest.
+//
+// Shape, quorum, and duplicate checks always run — they are cheap and
+// depend on this query's bytes, not on signature validity. The signature
+// loop may be answered by the engine's certificate cache: the cached fact
+// is "this exact signer set validly signed this digest", established only
+// by a previous fully-successful run of the same loop, so a hit yields
+// the same nil result — charged at the same len(Signers) verifications
+// the full run would have billed. Failures are never cached.
 func (c *Certificate) Verify(v *Verifier, quorum int) error {
 	if len(c.Signers) != len(c.Sigs) {
 		return ErrCertShape
@@ -284,14 +370,24 @@ func (c *Certificate) Verify(v *Verifier, quorum int) error {
 		return fmt.Errorf("%w: have %d, need %d", ErrCertTooSmall, len(c.Signers), quorum)
 	}
 	seen := make(map[types.NodeID]bool, len(c.Signers))
-	for i, id := range c.Signers {
+	for _, id := range c.Signers {
 		if seen[id] {
 			return fmt.Errorf("%w: %v", ErrCertDuplicate, id)
 		}
 		seen[id] = true
+	}
+	e := v.auth.getEngine()
+	if e != nil && e.CertCached(c.Digest, c.Signers) {
+		v.AccountVerifies(len(c.Signers))
+		return nil
+	}
+	for i, id := range c.Signers {
 		if !v.VerifySig(id, c.Digest, c.Sigs[i]) {
 			return fmt.Errorf("%w: from %v", ErrCertBadSig, id)
 		}
+	}
+	if e != nil {
+		e.CertStore(c.Digest, c.Signers)
 	}
 	return nil
 }

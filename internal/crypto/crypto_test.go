@@ -1,6 +1,7 @@
 package crypto
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -104,6 +105,166 @@ func TestCertificateVerify(t *testing.T) {
 	forged.Add(2, auth.Signer(2).Sign(d))
 	if err := forged.Verify(v, 3); err == nil {
 		t.Fatal("forged certificate accepted")
+	}
+}
+
+// TestCertificateVerifyEdgeCases is the table-driven sweep over the
+// adversarial certificate shapes the fuzzer-style chaos runs can produce:
+// each case pins the exact error identity so refactors of Verify cannot
+// silently reorder or weaken a check.
+func TestCertificateVerifyEdgeCases(t *testing.T) {
+	auth := NewAuthority(17)
+	v := auth.Verifier()
+	d := types.DigestBytes([]byte("edge"))
+	other := types.DigestBytes([]byte("other"))
+	sign := func(id types.NodeID, dig types.Digest) []byte {
+		return auth.Signer(id).Sign(dig)
+	}
+	cases := []struct {
+		name   string
+		build  func() *Certificate
+		quorum int
+		want   error // nil means the certificate must verify
+	}{
+		{
+			name: "valid quorum",
+			build: func() *Certificate {
+				c := &Certificate{Digest: d}
+				for i := 0; i < 3; i++ {
+					c.Add(types.NodeID(i), sign(types.NodeID(i), d))
+				}
+				return c
+			},
+			quorum: 3,
+		},
+		{
+			name: "sub-quorum",
+			build: func() *Certificate {
+				c := &Certificate{Digest: d}
+				c.Add(0, sign(0, d))
+				c.Add(1, sign(1, d))
+				return c
+			},
+			quorum: 3,
+			want:   ErrCertTooSmall,
+		},
+		{
+			name: "duplicate signer counted once",
+			build: func() *Certificate {
+				// Three entries, but only two distinct identities: the dup
+				// must not be double-counted toward the quorum.
+				c := &Certificate{Digest: d}
+				c.Add(0, sign(0, d))
+				c.Add(0, sign(0, d))
+				c.Add(1, sign(1, d))
+				return c
+			},
+			quorum: 3,
+			want:   ErrCertDuplicate,
+		},
+		{
+			name: "forged signature over correct digest",
+			build: func() *Certificate {
+				c := &Certificate{Digest: d}
+				c.Add(0, sign(0, d))
+				c.Add(1, sign(2, d)) // node 2's signature claimed as node 1's
+				c.Add(2, sign(2, d))
+				return c
+			},
+			quorum: 3,
+			want:   ErrCertBadSig,
+		},
+		{
+			name: "wrong-digest replay",
+			build: func() *Certificate {
+				// Signatures are genuine but cover a different digest —
+				// the replay a cached-certificate fast path must not admit.
+				c := &Certificate{Digest: d}
+				for i := 0; i < 3; i++ {
+					c.Add(types.NodeID(i), sign(types.NodeID(i), other))
+				}
+				return c
+			},
+			quorum: 3,
+			want:   ErrCertBadSig,
+		},
+		{
+			name:   "empty certificate",
+			build:  func() *Certificate { return &Certificate{Digest: d} },
+			quorum: 1,
+			want:   ErrCertTooSmall,
+		},
+		{
+			name: "nil signature entry",
+			build: func() *Certificate {
+				c := &Certificate{Digest: d}
+				c.Add(0, sign(0, d))
+				c.Add(1, nil)
+				c.Add(2, sign(2, d))
+				return c
+			},
+			quorum: 3,
+			want:   ErrCertBadSig,
+		},
+		{
+			name: "signer/signature shape mismatch",
+			build: func() *Certificate {
+				c := &Certificate{Digest: d}
+				c.Add(0, sign(0, d))
+				c.Signers = append(c.Signers, 1) // signer with no signature
+				return c
+			},
+			quorum: 1,
+			want:   ErrCertShape,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Verify(v, tc.quorum)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Verify() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Verify() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestThresholdSizeBoundary pins the threshold size model at its edges:
+// the constant charge is independent of signer count, including the
+// degenerate empty certificate, and switching the flag on a populated
+// certificate flips only the accounting.
+func TestThresholdSizeBoundary(t *testing.T) {
+	d := types.DigestBytes([]byte("thr"))
+	empty := &Certificate{Digest: d, Threshold: true}
+	if got := empty.EncodedSize(); got != SigSize+8 {
+		t.Fatalf("empty threshold certificate size = %d, want %d", got, SigSize+8)
+	}
+	one := &Certificate{Digest: d}
+	one.Add(0, make([]byte, SigSize))
+	linOne := one.EncodedSize()
+	one.Threshold = true
+	thrOne := one.EncodedSize()
+	if thrOne != SigSize+8 {
+		t.Fatalf("1-signer threshold size = %d, want %d", thrOne, SigSize+8)
+	}
+	if linOne != SigSize+8+8 {
+		t.Fatalf("1-signer linear size = %d, want %d", linOne, SigSize+8+8)
+	}
+	// The crossover: from two signers up, the threshold model is strictly
+	// smaller — the property linear protocols buy with it (DC 11).
+	big := &Certificate{Digest: d}
+	for i := 0; i < 2; i++ {
+		big.Add(types.NodeID(i), make([]byte, SigSize))
+	}
+	lin := big.EncodedSize()
+	big.Threshold = true
+	if thr := big.EncodedSize(); thr >= lin {
+		t.Fatalf("threshold size %d not below linear size %d at 2 signers", thr, lin)
 	}
 }
 

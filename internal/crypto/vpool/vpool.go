@@ -1,0 +1,459 @@
+// Package vpool is the parallel signature-verification engine: a worker
+// pool that batch-verifies independent Ed25519 signatures across cores,
+// a positive-only memo that deduplicates repeated verifications of the
+// same (signer, digest, signature) triple, and a bounded LRU that
+// remembers fully-verified quorum certificates by (digest, signer set).
+// Ed25519 verification is the dominant CPU cost of every signature-based
+// protocol in the design space (Bedrock attacks exactly this bottleneck
+// with verification parallelism), and BFT traffic re-verifies the same
+// bytes constantly — a broadcast is checked once per receiver, a commit
+// certificate once per phase it is carried through.
+//
+// The engine plugs into crypto.Authority via crypto.Engine. Division of
+// labor: the crypto package keeps all cost-model accounting (Stats and
+// the per-phase observer are charged for every protocol-required check,
+// cache hit or not), so installing an engine changes host CPU time only
+// — the deterministic virtual metrics the perf snapshots pin are
+// bit-identical by construction.
+//
+// Determinism rule: on the virtual-time simulator the engine runs with
+// Workers=0 — every verification is inline and synchronous on the
+// calling goroutine, no pool goroutines exist, and results are pure
+// functions of the inputs. The worker pool and the async inbound-verify
+// stage (transport.Node.SetInboundPrepare feeding VerifyBatch) are
+// real-TCP-path features, where wall-clock nondeterminism already rules.
+package vpool
+
+import (
+	"container/list"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bftkit/internal/crypto"
+	"bftkit/internal/obsv"
+	"bftkit/internal/types"
+)
+
+// DefaultCache is the default bound on each cache (entries). With map
+// and list overhead an entry costs ~100 bytes, so the two caches
+// together stay under ~2 MiB per authority at this bound.
+const DefaultCache = 8192
+
+// batchChunk is the number of signatures one worker task verifies; small
+// enough to spread a quorum across cores, large enough that the channel
+// hop is amortized (an Ed25519 verify is ~50µs, a channel send ~100ns).
+const batchChunk = 4
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the verification-pool size. 0 means fully synchronous:
+	// no goroutines are created and VerifyBatch runs inline on the
+	// caller — the mandatory mode on the deterministic simulator.
+	Workers int
+	// Cache bounds the signature memo and certificate LRU (entries each).
+	// <= 0 disables both caches.
+	Cache int
+	// Tracer receives verify-pool counters and batch-size samples (nil ok).
+	Tracer *obsv.Tracer
+}
+
+// Stats is a point-in-time snapshot of the engine's own counters. These
+// count *mechanism* (work performed vs recalled), intentionally separate
+// from crypto.Stats, which counts *protocol-required checks* and is what
+// the deterministic cost model reads.
+type Stats struct {
+	// Performed is raw Ed25519 verifications actually executed.
+	Performed int64
+	// MemoHits / MemoMisses partition memo-enabled lookups.
+	MemoHits   int64
+	MemoMisses int64
+	// CertHits / CertMisses partition certificate-cache lookups.
+	CertHits   int64
+	CertMisses int64
+	// Rejected counts failed verifications (garbage signatures).
+	Rejected int64
+	// Batches / BatchedSigs count VerifyBatch calls and the claims they
+	// carried.
+	Batches     int64
+	BatchedSigs int64
+}
+
+// Engine implements crypto.Engine. Safe for concurrent use.
+type Engine struct {
+	auth   *crypto.Authority
+	tracer *obsv.Tracer
+	cache  int
+
+	performed   atomic.Int64
+	memoHits    atomic.Int64
+	memoMisses  atomic.Int64
+	certHits    atomic.Int64
+	certMisses  atomic.Int64
+	rejected    atomic.Int64
+	batches     atomic.Int64
+	batchedSigs atomic.Int64
+
+	// cacheMu guards both LRUs. One mutex, not two: a cert query touches
+	// the memo via its component verifies anyway, and the critical
+	// sections are map+list pokes dwarfed by the Ed25519 math outside.
+	cacheMu sync.Mutex
+	memo    *lruSet
+	certs   *lruSet
+
+	// poolMu serializes pool reconfiguration (Resize/Stop) against task
+	// submission, mirroring the transport's stopMu pattern: submitters
+	// hold the read side, so a channel is never closed mid-send.
+	poolMu  sync.RWMutex
+	tasks   chan func() // nil when Workers == 0 or stopped
+	workers int
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// New builds an engine over auth's key material. Install it with
+// auth.SetEngine(e); call Stop when done if Workers > 0.
+func New(auth *crypto.Authority, opts Options) *Engine {
+	e := &Engine{auth: auth, tracer: opts.Tracer, cache: opts.Cache}
+	if e.cache > 0 {
+		e.memo = newLRUSet(e.cache)
+		e.certs = newLRUSet(e.cache)
+	}
+	e.startLocked(opts.Workers)
+	return e
+}
+
+// startLocked boots k workers on a fresh task channel. Caller holds
+// poolMu (or is the constructor).
+func (e *Engine) startLocked(k int) {
+	if k <= 0 {
+		e.tasks = nil
+		e.workers = 0
+		return
+	}
+	tasks := make(chan func(), 4*k)
+	e.tasks = tasks
+	e.workers = k
+	for i := 0; i < k; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for fn := range tasks {
+				fn()
+			}
+		}()
+	}
+}
+
+// Resize replaces the pool with k workers (0 = synchronous). Pending
+// tasks on the old channel are drained by the exiting workers, so no
+// submitted work is lost. Safe concurrently with VerifyBatch.
+func (e *Engine) Resize(k int) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.stopped {
+		return
+	}
+	if e.tasks != nil {
+		close(e.tasks)
+		e.wg.Wait()
+	}
+	e.startLocked(k)
+}
+
+// Stop shuts the pool down, draining pending tasks. Verification keeps
+// working afterwards — it just runs inline. Safe to call more than once.
+func (e *Engine) Stop() {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	if e.tasks != nil {
+		close(e.tasks)
+		e.wg.Wait()
+		e.tasks = nil
+		e.workers = 0
+	}
+}
+
+// Workers returns the current pool size.
+func (e *Engine) Workers() int {
+	e.poolMu.RLock()
+	defer e.poolMu.RUnlock()
+	return e.workers
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Performed:   e.performed.Load(),
+		MemoHits:    e.memoHits.Load(),
+		MemoMisses:  e.memoMisses.Load(),
+		CertHits:    e.certHits.Load(),
+		CertMisses:  e.certMisses.Load(),
+		Rejected:    e.rejected.Load(),
+		Batches:     e.batches.Load(),
+		BatchedSigs: e.batchedSigs.Load(),
+	}
+}
+
+// sigKey fingerprints one (signer, digest, signature) triple. The
+// signature bytes are part of the key, so a forged signature over a
+// previously-verified digest can never alias a genuine entry: it hashes
+// to a different key, misses, and is verified (and rejected) for real.
+// The fixed buffer keeps the hot path allocation-free; VerifySig refuses
+// to memoize wrong-length signatures, so truncation can never alias.
+func sigKey(signer types.NodeID, d types.Digest, sig []byte) [32]byte {
+	var buf [8 + 32 + ed25519.SignatureSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(signer))
+	copy(buf[8:40], d[:])
+	copy(buf[40:], sig)
+	return sha256.Sum256(buf[:])
+}
+
+// certKey fingerprints a (digest, signer set) pair. Signers are sorted
+// into a copy first: the cached fact is about the *set*, and two
+// orderings of the same quorum must collide.
+func certKey(d types.Digest, signers []types.NodeID) [32]byte {
+	sorted := make([]types.NodeID, len(signers))
+	copy(sorted, signers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := sha256.New()
+	h.Write(d[:])
+	var idb [8]byte
+	for _, id := range sorted {
+		binary.BigEndian.PutUint64(idb[:], uint64(id))
+		h.Write(idb[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// VerifySig implements crypto.Engine: one raw verification through the
+// positive-only memo. Only successes are remembered — a cached answer is
+// therefore always the same boolean the real verify would produce.
+func (e *Engine) VerifySig(pub ed25519.PublicKey, signer types.NodeID, d types.Digest, sig []byte) bool {
+	// A wrong-length signature always fails ed25519.Verify and must never
+	// reach the memo: sigKey's fixed buffer would alias it with a
+	// same-prefix genuine signature.
+	if e.memo == nil || len(sig) != ed25519.SignatureSize {
+		return e.rawVerify(pub, d, sig)
+	}
+	k := sigKey(signer, d, sig)
+	e.cacheMu.Lock()
+	hit := e.memo.has(k)
+	e.cacheMu.Unlock()
+	if hit {
+		e.memoHits.Add(1)
+		e.tracer.VerifyPoolEvent(obsv.VerifyMemoHit)
+		return true
+	}
+	e.memoMisses.Add(1)
+	e.tracer.VerifyPoolEvent(obsv.VerifyMemoMiss)
+	ok := e.rawVerify(pub, d, sig)
+	if ok {
+		e.cacheMu.Lock()
+		e.memo.add(k)
+		e.cacheMu.Unlock()
+	}
+	return ok
+}
+
+func (e *Engine) rawVerify(pub ed25519.PublicKey, d types.Digest, sig []byte) bool {
+	e.performed.Add(1)
+	e.tracer.VerifyPoolEvent(obsv.VerifyPerformed)
+	ok := ed25519.Verify(pub, d[:], sig)
+	if !ok {
+		e.rejected.Add(1)
+		e.tracer.VerifyPoolEvent(obsv.VerifyRejected)
+	}
+	return ok
+}
+
+// CertCached implements crypto.Engine.
+func (e *Engine) CertCached(d types.Digest, signers []types.NodeID) bool {
+	if e.certs == nil {
+		return false
+	}
+	k := certKey(d, signers)
+	e.cacheMu.Lock()
+	hit := e.certs.has(k)
+	e.cacheMu.Unlock()
+	if hit {
+		e.certHits.Add(1)
+		e.tracer.VerifyPoolEvent(obsv.VerifyCertHit)
+	} else {
+		e.certMisses.Add(1)
+		e.tracer.VerifyPoolEvent(obsv.VerifyCertMiss)
+	}
+	return hit
+}
+
+// CertStore implements crypto.Engine.
+func (e *Engine) CertStore(d types.Digest, signers []types.NodeID) {
+	if e.certs == nil {
+		return
+	}
+	k := certKey(d, signers)
+	e.cacheMu.Lock()
+	e.certs.add(k)
+	e.cacheMu.Unlock()
+}
+
+// VerifyBatch checks a batch of independent signature claims, spreading
+// chunks across the worker pool when one is running (inline otherwise —
+// including when the pool's queue is full or the engine is stopped, so a
+// batch always completes and never blocks behind reconfiguration).
+// Successes warm the memo; the return values count the split. The
+// protocol's own inline verification remains the rejection authority —
+// this is strictly a prefetch.
+func (e *Engine) VerifyBatch(claims []crypto.SigClaim) (ok, bad int) {
+	if len(claims) == 0 {
+		return 0, 0
+	}
+	e.batches.Add(1)
+	e.batchedSigs.Add(int64(len(claims)))
+	e.tracer.ObserveVerifyBatch(len(claims))
+
+	verifyChunk := func(chunk []crypto.SigClaim, good *int64) {
+		for _, c := range chunk {
+			if e.VerifySig(e.auth.PublicKey(c.Signer), c.Signer, c.Digest, c.Sig) {
+				atomic.AddInt64(good, 1)
+			}
+		}
+	}
+
+	var good int64
+	e.poolMu.RLock()
+	tasks := e.tasks
+	e.poolMu.RUnlock()
+	if tasks == nil || len(claims) <= batchChunk {
+		verifyChunk(claims, &good)
+		return int(good), len(claims) - int(good)
+	}
+
+	var wg sync.WaitGroup
+	for start := 0; start < len(claims); start += batchChunk {
+		end := start + batchChunk
+		if end > len(claims) {
+			end = len(claims)
+		}
+		chunk := claims[start:end]
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			verifyChunk(chunk, &good)
+		}
+		// Submission races Resize/Stop closing the channel; the read lock
+		// makes the send safe, and a full queue degrades to inline.
+		e.poolMu.RLock()
+		if e.tasks == nil {
+			e.poolMu.RUnlock()
+			job()
+			continue
+		}
+		select {
+		case e.tasks <- job:
+		default:
+			job()
+		}
+		e.poolMu.RUnlock()
+	}
+	wg.Wait()
+	return int(good), len(claims) - int(good)
+}
+
+// lruSet is a bounded set of 32-byte keys with least-recently-used
+// eviction (map + intrusive list; has() refreshes recency).
+type lruSet struct {
+	cap   int
+	order *list.List // front = most recent; values are [32]byte keys
+	items map[[32]byte]*list.Element
+}
+
+func newLRUSet(cap int) *lruSet {
+	return &lruSet{cap: cap, order: list.New(), items: make(map[[32]byte]*list.Element, cap)}
+}
+
+func (s *lruSet) has(k [32]byte) bool {
+	el, ok := s.items[k]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	return ok
+}
+
+func (s *lruSet) add(k [32]byte) {
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.order.PushFront(k)
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.([32]byte))
+	}
+}
+
+// Len returns the current entry count (tests).
+func (s *lruSet) Len() int { return s.order.Len() }
+
+// MemoLen / CertLen expose cache sizes for tests and ops surfaces.
+func (e *Engine) MemoLen() int {
+	if e.memo == nil {
+		return 0
+	}
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.memo.Len()
+}
+
+func (e *Engine) CertLen() int {
+	if e.certs == nil {
+		return 0
+	}
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.certs.Len()
+}
+
+// Claims extracts the signature claims a message exposes, nil when it
+// exposes none or carries an empty signature (MAC-authenticated variants
+// leave Sig nil). Shared by every inbound-prepare hook.
+func Claims(from types.NodeID, m types.Message) []crypto.SigClaim {
+	sc, ok := m.(crypto.SigClaimer)
+	if !ok {
+		return nil
+	}
+	all := sc.SigClaims(from)
+	out := all[:0]
+	for _, c := range all {
+		if len(c.Sig) > 0 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Prepare returns a transport inbound-prepare hook: it batch-verifies
+// every signature claim the message exposes, warming the memo so the
+// event-loop verification is a lookup. Garbage signatures fail here
+// (counted in Stats.Rejected) and again inline — rejection authority
+// stays with the protocol.
+func (e *Engine) Prepare() func(from types.NodeID, m types.Message) {
+	return func(from types.NodeID, m types.Message) {
+		if claims := Claims(from, m); claims != nil {
+			e.VerifyBatch(claims)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
+	"bftkit/internal/crypto/vpool"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
 	"bftkit/internal/sim"
@@ -58,6 +59,18 @@ type Options struct {
 	// Metrics has. Continuous checkers (the chaos invariant oracle) hook
 	// in here rather than monkey-patching hooks.
 	Observers []Observer
+	// VerifyCache bounds the verification engine's signature memo and
+	// certificate LRU (0 = vpool.DefaultCache, negative = disable the
+	// engine entirely). The deployment shares one authority, so the memo
+	// deduplicates broadcast verifications across all receivers — pure
+	// host-CPU savings; the charged (deterministic) crypto counters are
+	// identical either way.
+	VerifyCache int
+	// VerifyWorkers sizes the engine's worker pool. On the simulator
+	// every verification is an inline synchronous call and nothing
+	// submits batches, so workers only idle here; the field exists so
+	// bftbench can plumb one flag set to both substrates. Leave 0.
+	VerifyWorkers int
 }
 
 // Observer watches a running cluster's protocol-level events. All
@@ -79,6 +92,7 @@ type Cluster struct {
 	Sched    *sim.Scheduler
 	Net      *sim.Network
 	Auth     *crypto.Authority
+	Engine   *vpool.Engine
 	Replicas []*core.Replica
 	Clients  []*core.Client
 	Apps     []*kvstore.Store
@@ -163,6 +177,21 @@ func NewCluster(opts Options) *Cluster {
 		Metrics: NewMetrics(),
 	}
 	c.Net = sim.NewNetwork(c.Sched, opts.Net)
+	// The verification engine rides the shared authority: all replicas
+	// and clients derive keys from one Authority, so the positive-only
+	// memo deduplicates the n-fold re-verification of every broadcast
+	// signature across receivers. Workers stay 0 on the simulator (the
+	// determinism rule: verify inline, no pool goroutines); the memo is
+	// deterministic too — it changes which verifications run Ed25519
+	// math, never their results or the charged counters.
+	if opts.VerifyCache >= 0 {
+		size := opts.VerifyCache
+		if size == 0 {
+			size = vpool.DefaultCache
+		}
+		c.Engine = vpool.New(c.Auth, vpool.Options{Workers: 0, Cache: size, Tracer: opts.Trace})
+		c.Auth.SetEngine(c.Engine)
+	}
 	if tr := opts.Trace; tr != nil {
 		c.Metrics.Trace = tr
 		c.Net.SetTracer(tr)

@@ -15,8 +15,10 @@ import (
 	"sync"
 	"time"
 
+	"bftkit/internal/byz"
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
+	"bftkit/internal/crypto/vpool"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
 	"bftkit/internal/transport"
@@ -50,6 +52,21 @@ type TCPOptions struct {
 	// Trace, when set, is installed on every transport node, aggregating
 	// dial/reconnect/frame-reject counters across the deployment.
 	Trace *obsv.Tracer
+	// VerifyWorkers sizes each node's signature-verification pool and,
+	// when positive, enables the async inbound-verify stage: signature
+	// claims are batch-verified on per-connection lanes off the event
+	// loop, so the loop's own verify is a memo lookup. 0 keeps the
+	// legacy synchronous path.
+	VerifyWorkers int
+	// VerifyCache bounds each node's signature memo and certificate LRU
+	// (0 = vpool.DefaultCache, negative = no engine at all).
+	VerifyCache int
+	// Byzantine assigns a byz behavior to selected replicas, exactly as
+	// harness.Options.Byzantine does on the simulator.
+	Byzantine map[types.NodeID]byz.Behavior
+	// MakeReplica, when set, overrides protocol construction for
+	// selected replicas (return nil to fall back to the registry).
+	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
 }
 
 // TCPCluster is a running multi-node TCP deployment in one process.
@@ -71,6 +88,7 @@ type TCPCluster struct {
 	replicas map[types.NodeID]*tcpReplica
 
 	clientNode *transport.Node
+	clientEng  *vpool.Engine
 	client     *core.Client
 	clientSeq  uint64
 	doneCh     chan *types.Request
@@ -80,6 +98,26 @@ type tcpReplica struct {
 	node *transport.Node
 	rep  *core.Replica
 	app  *kvstore.Store
+	eng  *vpool.Engine
+}
+
+// newEngine builds one node's verification engine per the options, or
+// nil when disabled. Each TCP node has its own authority (a real process
+// would), so caches are per-node; the pool is what async verify rides.
+func (c *TCPCluster) newEngine(auth *crypto.Authority) *vpool.Engine {
+	if c.Opts.VerifyCache < 0 && c.Opts.VerifyWorkers <= 0 {
+		return nil
+	}
+	size := c.Opts.VerifyCache
+	if size == 0 {
+		size = vpool.DefaultCache
+	}
+	if size < 0 {
+		size = 0
+	}
+	eng := vpool.New(auth, vpool.Options{Workers: c.Opts.VerifyWorkers, Cache: size, Tracer: c.Opts.Trace})
+	auth.SetEngine(eng)
+	return eng
 }
 
 // NewTCPCluster builds and starts a deployment: n replicas plus one
@@ -161,6 +199,11 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 	if opts.Trace != nil {
 		c.clientNode.SetTracer(opts.Trace)
 	}
+	cauth := crypto.NewAuthority(opts.Seed)
+	c.clientEng = c.newEngine(cauth)
+	if c.clientEng != nil && opts.VerifyWorkers > 0 {
+		c.clientNode.SetInboundPrepare(c.clientEng.Prepare())
+	}
 	chooks := core.ClientHooks{
 		OnDone: func(id types.NodeID, req *types.Request, result []byte, _ time.Duration) {
 			at := c.Now()
@@ -172,7 +215,7 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 			c.doneCh <- req
 		},
 	}
-	c.client = core.NewClient(clientID, cfg, c.clientNode, reg.ClientFor(cfg), crypto.NewAuthority(opts.Seed), chooks)
+	c.client = core.NewClient(clientID, cfg, c.clientNode, reg.ClientFor(cfg), cauth, chooks)
 	c.clientNode.SetHandler(c.client)
 	if err := c.clientNode.Start(); err != nil {
 		c.Stop()
@@ -206,6 +249,11 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 	node := transport.NewNode(id, peers, c.Opts.Seed)
 	if c.Opts.Trace != nil {
 		node.SetTracer(c.Opts.Trace)
+	}
+	auth := crypto.NewAuthority(c.Opts.Seed)
+	eng := c.newEngine(auth)
+	if eng != nil && c.Opts.VerifyWorkers > 0 {
+		node.SetInboundPrepare(eng.Prepare())
 	}
 	app := kvstore.New()
 	hooks := core.Hooks{
@@ -241,15 +289,28 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 			}
 		},
 	}
-	rep := core.NewReplica(id, c.Cfg, node, c.Reg.NewReplica(c.Cfg), app, crypto.NewAuthority(c.Opts.Seed), hooks)
+	var proto core.Protocol
+	if c.Opts.MakeReplica != nil {
+		proto = c.Opts.MakeReplica(id, c.Cfg)
+	}
+	if proto == nil {
+		proto = c.Reg.NewReplica(c.Cfg)
+	}
+	if b := c.Opts.Byzantine[id]; b != nil {
+		proto = byz.Wrap(proto, b)
+	}
+	rep := core.NewReplica(id, c.Cfg, node, proto, app, auth, hooks)
 	node.SetHandler(rep)
 	if err := node.Start(); err != nil {
+		if eng != nil {
+			eng.Stop()
+		}
 		return err
 	}
 	node.Do(rep.Start)
 
 	c.mu.Lock()
-	c.replicas[id] = &tcpReplica{node: node, rep: rep, app: app}
+	c.replicas[id] = &tcpReplica{node: node, rep: rep, app: app, eng: eng}
 	c.mu.Unlock()
 	return nil
 }
@@ -264,6 +325,9 @@ func (c *TCPCluster) KillReplica(id types.NodeID) {
 	c.mu.Unlock()
 	if r != nil {
 		r.node.Stop()
+		if r.eng != nil {
+			r.eng.Stop()
+		}
 	}
 }
 
@@ -311,6 +375,9 @@ func (c *TCPCluster) Stop() {
 	if c.clientNode != nil {
 		c.clientNode.Stop()
 	}
+	if c.clientEng != nil {
+		c.clientEng.Stop()
+	}
 	c.mu.Lock()
 	reps := make([]*tcpReplica, 0, len(c.replicas))
 	for _, r := range c.replicas {
@@ -320,6 +387,9 @@ func (c *TCPCluster) Stop() {
 	c.mu.Unlock()
 	for _, r := range reps {
 		r.node.Stop()
+		if r.eng != nil {
+			r.eng.Stop()
+		}
 	}
 }
 

@@ -148,6 +148,18 @@ func (t *Tracer) WriteSummary(w io.Writer) {
 		fmt.Fprintf(w, "  transport: dials=%d dial-fails=%d reconnects=%d conn-drops=%d send-drops=%d frame-rejects=%d\n",
 			ts.Dials, ts.DialFails, ts.Reconnects, ts.ConnDrops, ts.SendDrops, ts.FrameRejects)
 	}
+	if vs := t.VerifyPoolStats(); vs.Total() > 0 {
+		fmt.Fprintf(w, "  verify-pool: performed=%d memo-hits=%d memo-misses=%d cert-hits=%d cert-misses=%d rejected=%d\n",
+			vs.Performed, vs.MemoHits, vs.MemoMisses, vs.CertHits, vs.CertMisses, vs.Rejected)
+	}
+	if t.VerifyBatchSize.Count() > 0 {
+		fmt.Fprint(w, "  ")
+		t.VerifyBatchSize.Summary(w)
+	}
+	if t.VerifyQueueDepth.Count() > 0 {
+		fmt.Fprint(w, "  ")
+		t.VerifyQueueDepth.Summary(w)
+	}
 	if d := t.DroppedEvents(); d > 0 {
 		fmt.Fprintf(w, "  truncated events: %d (raise MaxEvents to keep the full log)\n", d)
 	}

@@ -162,6 +162,54 @@ func (s TransportStats) Total() int64 {
 	return s.Dials + s.DialFails + s.Reconnects + s.ConnDrops + s.SendDrops + s.FrameRejects
 }
 
+// VerifyPoolEventKind enumerates the verification-engine events
+// internal/crypto/vpool reports: raw Ed25519 work actually performed,
+// memo and certificate-cache hits/misses, and rejections (garbage
+// signatures caught by the engine). These count mechanism — the charged
+// cost-model counters live in the per-phase Verify column.
+type VerifyPoolEventKind uint8
+
+// Verification-engine events.
+const (
+	// VerifyPerformed: one raw Ed25519 verification was executed.
+	VerifyPerformed VerifyPoolEventKind = iota
+	// VerifyMemoHit: a (signer, digest, sig) triple was recalled from the
+	// positive-only memo instead of re-verified.
+	VerifyMemoHit
+	// VerifyMemoMiss: the memo was consulted and had no entry.
+	VerifyMemoMiss
+	// VerifyCertHit: a quorum certificate was recalled from the LRU.
+	VerifyCertHit
+	// VerifyCertMiss: the certificate LRU was consulted and had no entry.
+	VerifyCertMiss
+	// VerifyRejected: a verification failed (invalid signature).
+	VerifyRejected
+)
+
+// VerifyPoolStats aggregates the verification-engine counters.
+type VerifyPoolStats struct {
+	Performed  int64
+	MemoHits   int64
+	MemoMisses int64
+	CertHits   int64
+	CertMisses int64
+	Rejected   int64
+}
+
+func (s *VerifyPoolStats) add(o VerifyPoolStats) {
+	s.Performed += o.Performed
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+	s.CertHits += o.CertHits
+	s.CertMisses += o.CertMisses
+	s.Rejected += o.Rejected
+}
+
+// Total sums every engine counter (a cheap "engine active" probe).
+func (s VerifyPoolStats) Total() int64 {
+	return s.Performed + s.MemoHits + s.MemoMisses + s.CertHits + s.CertMisses + s.Rejected
+}
+
 // CryptoKind enumerates the accounted cryptographic operations.
 type CryptoKind uint8
 
@@ -247,6 +295,9 @@ type Tracer struct {
 	// counters (guarded by mu like everything else).
 	transport TransportStats
 
+	// verifyPool accumulates the verification engine's counters.
+	verifyPool VerifyPoolStats
+
 	// CommitLatency observes submit→first-commit per request (fed by
 	// harness.Metrics); QueueDepth samples the substrate's in-flight
 	// message count at each send; SlotLatency observes first-message→
@@ -258,6 +309,11 @@ type Tracer struct {
 	QueueDepth    *Histogram
 	SlotLatency   *Histogram
 	OutQueueDepth *Histogram
+	// VerifyBatchSize observes the claim count of each VerifyBatch call;
+	// VerifyQueueDepth samples the inbound-verify lane's backlog at each
+	// enqueue (how far signature checking trails the socket).
+	VerifyBatchSize  *Histogram
+	VerifyQueueDepth *Histogram
 }
 
 // New returns an enabled tracer.
@@ -270,10 +326,12 @@ func New(opts Options) *Tracer {
 		nodes:         make(map[types.NodeID]*nodeState),
 		slotFirst:     make(map[types.SeqNum]time.Duration),
 		slotDone:      make(map[types.SeqNum]struct{}),
-		CommitLatency: NewHistogram("commit-latency", "µs"),
-		QueueDepth:    NewHistogram("queue-depth", "msgs"),
-		SlotLatency:   NewHistogram("slot-latency", "µs"),
-		OutQueueDepth: NewHistogram("out-queue-depth", "msgs"),
+		CommitLatency:    NewHistogram("commit-latency", "µs"),
+		QueueDepth:       NewHistogram("queue-depth", "msgs"),
+		SlotLatency:      NewHistogram("slot-latency", "µs"),
+		OutQueueDepth:    NewHistogram("out-queue-depth", "msgs"),
+		VerifyBatchSize:  NewHistogram("verify-batch-size", "sigs"),
+		VerifyQueueDepth: NewHistogram("verify-queue-depth", "msgs"),
 	}
 }
 
@@ -572,6 +630,55 @@ func (t *Tracer) TransportEvent(k TransportEventKind) {
 		t.transport.FrameRejects++
 	}
 	t.mu.Unlock()
+}
+
+// VerifyPoolEvent counts one verification-engine event.
+func (t *Tracer) VerifyPoolEvent(k VerifyPoolEventKind) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	switch k {
+	case VerifyPerformed:
+		t.verifyPool.Performed++
+	case VerifyMemoHit:
+		t.verifyPool.MemoHits++
+	case VerifyMemoMiss:
+		t.verifyPool.MemoMisses++
+	case VerifyCertHit:
+		t.verifyPool.CertHits++
+	case VerifyCertMiss:
+		t.verifyPool.CertMisses++
+	case VerifyRejected:
+		t.verifyPool.Rejected++
+	}
+	t.mu.Unlock()
+}
+
+// VerifyPoolStats returns the accumulated verification-engine counters.
+func (t *Tracer) VerifyPoolStats() VerifyPoolStats {
+	if t == nil {
+		return VerifyPoolStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.verifyPool
+}
+
+// ObserveVerifyBatch feeds the verify-batch-size histogram.
+func (t *Tracer) ObserveVerifyBatch(n int) {
+	if t == nil {
+		return
+	}
+	t.VerifyBatchSize.Observe(int64(n))
+}
+
+// ObserveVerifyQueueDepth feeds the inbound-verify-lane depth histogram.
+func (t *Tracer) ObserveVerifyQueueDepth(n int) {
+	if t == nil {
+		return
+	}
+	t.VerifyQueueDepth.Observe(int64(n))
 }
 
 // TransportStats returns the accumulated transport lifecycle counters.

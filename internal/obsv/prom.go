@@ -147,8 +147,11 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 	slot := NewHistogram("slot-latency", "µs")
 	queue := NewHistogram("queue-depth", "msgs")
 	outq := NewHistogram("out-queue-depth", "msgs")
+	vbatch := NewHistogram("verify-batch-size", "sigs")
+	vqueue := NewHistogram("verify-queue-depth", "msgs")
 	var dropped int64
 	var tstats TransportStats
+	var vstats VerifyPoolStats
 	for _, t := range tracers {
 		if t == nil {
 			continue
@@ -157,9 +160,13 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 		slot.Merge(t.SlotLatency)
 		queue.Merge(t.QueueDepth)
 		outq.Merge(t.OutQueueDepth)
+		vbatch.Merge(t.VerifyBatchSize)
+		vqueue.Merge(t.VerifyQueueDepth)
 		dropped += t.DroppedEvents()
 		ts := t.TransportStats()
 		tstats.add(ts)
+		vs := t.VerifyPoolStats()
+		vstats.add(vs)
 	}
 	hists := []struct {
 		h    *Histogram
@@ -169,6 +176,8 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 		{slot, "Replica-side slot latency, first ordering message to first commit."},
 		{queue, "Network substrate in-flight message count, sampled at each send."},
 		{outq, "Per-peer outbound transport queue depth, sampled at each enqueue."},
+		{vbatch, "Signature claims per verification-engine batch."},
+		{vqueue, "Inbound verify-lane backlog, sampled at each enqueue."},
 	}
 	for _, hh := range hists {
 		if err := writePromHistogram(w, hh.h.Snapshot(), hh.help); err != nil {
@@ -191,6 +200,25 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 	}
 	for _, te := range tevents {
 		if _, err := fmt.Fprintf(w, "bftkit_transport_events_total{event=%q} %d\n", te.label, te.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_verify_pool_events_total Verification-engine events (work performed vs cache recalls vs rejections).\n# TYPE bftkit_verify_pool_events_total counter\n"); err != nil {
+		return err
+	}
+	vevents := []struct {
+		label string
+		v     int64
+	}{
+		{"performed", vstats.Performed},
+		{"memo_hit", vstats.MemoHits},
+		{"memo_miss", vstats.MemoMisses},
+		{"cert_hit", vstats.CertHits},
+		{"cert_miss", vstats.CertMisses},
+		{"rejected", vstats.Rejected},
+	}
+	for _, ve := range vevents {
+		if _, err := fmt.Fprintf(w, "bftkit_verify_pool_events_total{event=%q} %d\n", ve.label, ve.v); err != nil {
 			return err
 		}
 	}

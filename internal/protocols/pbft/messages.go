@@ -41,6 +41,15 @@ func (m *PrePrepareMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer. A pre-prepare names no signer
+// — it is implicitly from the view's leader — so the claim uses the
+// transport sender, which is the signer exactly when the message is
+// honest (the only case worth pre-verifying: the protocol re-checks
+// inline against the leader it derives).
+func (m *PrePrepareMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // PrepareMsg vouches that a backup saw the leader's assignment (second
 // phase; guarantees uniqueness of the order within the view).
 type PrepareMsg struct {
@@ -65,6 +74,13 @@ func (m *PrepareMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer. The protocol verifies against
+// the transport sender (a prepare claiming another replica's identity is
+// rejected inline), so that is the signer worth warming.
+func (m *PrepareMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // CommitMsg vouches that a replica collected a prepared certificate
 // (third phase; guarantees the order survives view changes).
 type CommitMsg struct {
@@ -87,6 +103,11 @@ func (m *CommitMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("pbft-commit").U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Digest).U64(uint64(m.Replica))
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer; see PrepareMsg.SigClaims.
+func (m *CommitMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // PreparedProof carries one prepared slot into a view change: the batch

@@ -1,0 +1,122 @@
+package transport_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/transport"
+	"bftkit/internal/types"
+)
+
+// orderedHandler records the ClientSeq of each delivered request.
+type orderedHandler struct {
+	mu   sync.Mutex
+	seqs []uint64
+}
+
+func (h *orderedHandler) Deliver(_ types.NodeID, m types.Message) {
+	if rm, ok := m.(*core.RequestMsg); ok {
+		h.mu.Lock()
+		h.seqs = append(h.seqs, rm.Req.ClientSeq)
+		h.mu.Unlock()
+	}
+}
+
+func (h *orderedHandler) snapshot() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.seqs...)
+}
+
+// TestInboundPrepareFIFO pins the async verify lane's ordering contract:
+// with a prepare hook installed, every message still reaches the handler
+// exactly once, in per-sender send order, and prepare runs strictly
+// before the corresponding delivery.
+func TestInboundPrepareFIFO(t *testing.T) {
+	addrs := freePorts(t, 2)
+	peers := map[types.NodeID]string{0: addrs[0], 1: addrs[1]}
+
+	a := transport.NewNode(0, peers, 1)
+	a.SetHandler(transportNopHandler{})
+
+	var prepared atomic.Int64
+	bh := &orderedHandler{}
+	b := transport.NewNode(1, peers, 2)
+	b.SetHandler(bh)
+	// The hook sleeps on a varying schedule: were messages prepared on
+	// independent goroutines instead of a per-connection lane, later fast
+	// messages would overtake earlier slow ones and the order assertion
+	// below would catch it.
+	b.SetInboundPrepare(func(_ types.NodeID, m types.Message) {
+		if rm, ok := m.(*core.RequestMsg); ok && rm.Req.ClientSeq%7 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		prepared.Add(1)
+	})
+
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	const total = 100
+	for i := uint64(1); i <= total; i++ {
+		a.Send(0, 1, ping(i))
+	}
+	waitFor(t, 10*time.Second, func() bool { return len(bh.snapshot()) == total }, "lane delivery")
+
+	seqs := bh.snapshot()
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("delivery %d has seq %d: per-sender FIFO violated (%v...)", i, s, seqs[:i+1])
+		}
+	}
+	if got := prepared.Load(); got != total {
+		t.Fatalf("prepare ran %d times, want %d", got, total)
+	}
+}
+
+// TestInboundPrepareStopDrains extends the transport leak check to the
+// verify lanes: with a prepare hook installed and traffic flowing, Stop
+// must join the lane goroutines too — nothing survives the node.
+func TestInboundPrepareStopDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	addrs := freePorts(t, 2)
+	peers := map[types.NodeID]string{0: addrs[0], 1: addrs[1]}
+
+	a := transport.NewNode(0, peers, 1)
+	a.SetHandler(newCountingHandler())
+	a.SetInboundPrepare(func(types.NodeID, types.Message) {})
+	bh := newCountingHandler()
+	b := transport.NewNode(1, peers, 2)
+	b.SetHandler(bh)
+	b.SetInboundPrepare(func(types.NodeID, types.Message) {
+		time.Sleep(time.Millisecond) // keep the lane busy when Stop lands
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		a.Stop()
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		a.Send(0, 1, ping(i))
+	}
+	waitFor(t, 10*time.Second, func() bool { return bh.count() >= 10 }, "lane traffic")
+
+	a.Stop()
+	b.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	}, "lane goroutines to drain")
+}

@@ -85,6 +85,7 @@ type Node struct {
 	events  chan func()
 	handler Handler
 	tracer  *obsv.Tracer
+	prepare func(from types.NodeID, m types.Message)
 
 	// dial is swappable so tests can make dials hang or fail
 	// deterministically without touching the kernel.
@@ -177,6 +178,45 @@ func (n *Node) SetHandler(h Handler) { n.handler = h }
 // reported with the actual wire bytes that crossed the socket. Pass nil
 // to detach. Must be set before Start.
 func (n *Node) SetTracer(t *obsv.Tracer) { n.tracer = t }
+
+// SetInboundPrepare installs an async inbound stage: fn runs for every
+// inbound protocol envelope on a per-connection lane goroutine, off the
+// event loop, before the envelope is enqueued for delivery. The
+// verification engine uses it to batch-verify a message's signature
+// claims while the event loop processes earlier traffic. Ordering
+// guarantees are unchanged — one lane per connection preserves the
+// per-peer FIFO the protocols rely on, and delivery still happens on the
+// event loop. fn must be concurrency-safe (lanes run in parallel) and
+// must not block indefinitely. Pass nil for the default synchronous
+// path. Must be set before Start.
+func (n *Node) SetInboundPrepare(fn func(from types.NodeID, m types.Message)) { n.prepare = fn }
+
+// laneCap bounds one connection's inbound-verify lane. A full lane
+// applies backpressure to that connection's read loop only — exactly the
+// per-conn isolation the rest of the transport maintains.
+const laneCap = 1024
+
+// laneItem is one prepared-and-forwarded inbound message.
+type laneItem struct {
+	from types.NodeID
+	msg  types.Message
+}
+
+// runLane drains one connection's inbound lane: prepare, then hand to
+// the event loop. Exits when the owning read loop closes the lane (after
+// draining it) or the node stops.
+func (n *Node) runLane(lane chan laneItem) {
+	for it := range lane {
+		n.prepare(it.from, it.msg)
+		from, msg := it.from, it.msg
+		select {
+		case n.events <- func() { n.handler.Deliver(from, msg) }:
+			n.tracer.ObserveQueueDepth(len(n.events))
+		case <-n.done:
+			return
+		}
+	}
+}
 
 // SetMaxFrame bounds one envelope on the wire (default DefaultMaxFrame).
 // Inbound frames over the bound cost the connection; outbound envelopes
@@ -387,6 +427,17 @@ func (n *Node) readLoop(wc *wireConn) {
 	fr := newFrameReader(cr, n.maxFrame)
 	dec := gob.NewDecoder(fr)
 	adopted := !wc.inbound
+	var lane chan laneItem
+	if n.prepare != nil {
+		lane = make(chan laneItem, laneCap)
+		if !n.goTracked(func() { n.runLane(lane) }) {
+			return
+		}
+		// Closing the lane when this read loop exits lets the lane drain
+		// what it already accepted, then stop — no goroutine leak, no
+		// dropped prepared messages.
+		defer close(lane)
+	}
 	for {
 		before := rtotal()
 		if err := fr.next(); err != nil {
@@ -420,6 +471,18 @@ func (n *Node) readLoop(wc *wireConn) {
 		}
 		from, msg := env.From, env.Msg
 		n.tracer.MsgDelivered(n.Now(), from, n.id, msg, size)
+		if lane != nil {
+			// Async path: the lane goroutine prepares (pre-verifies) and
+			// forwards, keeping this connection's FIFO; a full lane blocks
+			// only this read loop.
+			select {
+			case lane <- laneItem{from: from, msg: msg}:
+				n.tracer.ObserveVerifyQueueDepth(len(lane))
+			case <-n.done:
+				return
+			}
+			continue
+		}
 		select {
 		case n.events <- func() { n.handler.Deliver(from, msg) }:
 			n.tracer.ObserveQueueDepth(len(n.events))
