@@ -23,6 +23,13 @@
 //	bftbench -protocol pbft -byz delay:10ms -byz-nodes 1,3
 //	bftbench -byz list                                  # behavior catalog
 //
+// Forensics mode attaches the accountability auditor and prints its
+// verdict table — suspicion scores per replica plus any misbehavior
+// proofs, each re-verified offline against the public keys:
+//
+//	bftbench -forensics                                 # honest pbft run: clean verdict
+//	bftbench -protocol pbft -byz equivocate -forensics  # convict the equivocator
+//
 // Fuzz mode explores random fault schedules (crashes, partitions, delay
 // spikes, Byzantine replicas, client churn) across random protocol and
 // cluster configurations on the deterministic simulator, checking the
@@ -67,7 +74,8 @@ func main() {
 	trace := flag.String("trace", "", "write JSON-lines trace events to this file (.gz compresses)")
 	perfetto := flag.String("perfetto", "", "write a Chrome/Perfetto trace_event JSON to this file (.gz compresses)")
 	csv := flag.String("csv", "", "write per-node per-phase counters to this CSV file")
-	proto := flag.String("protocol", "pbft", "protocol for -byz runs")
+	proto := flag.String("protocol", "pbft", "protocol for -byz and -forensics runs")
+	forensic := flag.Bool("forensics", false, "print the forensic verdict table for -protocol (honest run, or under -byz on -byz-nodes)")
 	byzSpec := flag.String("byz", "", "Byzantine behavior spec (see -byz list), e.g. equivocate or delay:10ms")
 	byzNodes := flag.String("byz-nodes", "0", "comma-separated replica IDs that turn Byzantine")
 	seed := flag.Int64("seed", 7, "simulator seed for -byz and -fuzz runs")
@@ -176,7 +184,7 @@ func main() {
 		experiments.Observe.CSV = w
 	}
 
-	if *byzSpec != "" {
+	if *forensic || *byzSpec != "" {
 		var nodes []types.NodeID
 		for _, part := range strings.Split(*byzNodes, ",") {
 			part = strings.TrimSpace(part)
@@ -190,7 +198,13 @@ func main() {
 			}
 			nodes = append(nodes, types.NodeID(id))
 		}
-		if err := experiments.RunByzantine(os.Stdout, *proto, *byzSpec, nodes, *seed); err != nil {
+		var err error
+		if *forensic {
+			err = experiments.RunForensics(os.Stdout, *proto, *byzSpec, nodes, *seed)
+		} else {
+			err = experiments.RunByzantine(os.Stdout, *proto, *byzSpec, nodes, *seed)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -230,6 +244,14 @@ func replayOne(path string) int {
 			fmt.Fprintf(os.Stderr, "bftbench: writing flight dump: %v\n", err)
 		} else {
 			fmt.Printf("  flight recorder: span timeline of the failure → %s\n", fp)
+		}
+		if rep.Forensics != nil && !rep.Forensics.Clean() {
+			pp := chaos.ForensicsPath(path)
+			if err := rep.Forensics.WriteJSON(pp); err != nil {
+				fmt.Fprintf(os.Stderr, "bftbench: writing forensics bundle: %v\n", err)
+			} else {
+				fmt.Printf("  forensics: accountability evidence → %s\n", pp)
+			}
 		}
 		return 1
 	}

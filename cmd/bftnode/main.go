@@ -25,6 +25,7 @@ import (
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/crypto/vpool"
+	"bftkit/internal/forensics"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
 	"bftkit/internal/transport"
@@ -43,6 +44,7 @@ func main() {
 	maxFrame := flag.Int("max-frame", 0, "max wire frame in bytes, must match across the deployment (0 = 4 MiB default)")
 	verifyWorkers := flag.Int("verify-workers", runtime.NumCPU(), "signature-verification pool size; >0 also verifies inbound messages asynchronously off the event loop (0 = synchronous)")
 	verifyCache := flag.Int("verify-cache", vpool.DefaultCache, "signature-memo and certificate-cache bound in entries (0 = disable the verification engine)")
+	forensic := flag.Bool("forensics", false, "attach the accountability auditor to this node's inbound stream; serves /forensics on -metrics-addr and prints the verdict on shutdown")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -109,7 +111,27 @@ func main() {
 		hooks.Logf = log.Printf
 	}
 	replica := core.NewReplica(types.NodeID(*id), cfg, node, reg.NewReplica(cfg), kvstore.New(), auth, hooks)
-	node.SetHandler(replica)
+	startAt := time.Now()
+	var auditor *forensics.Auditor
+	if *forensic {
+		self := types.NodeID(*id)
+		fo := forensics.Options{N: n, F: cfg.F, Tracer: tracer,
+			// Only the public half of the deployment's shared key material.
+			Keys: crypto.NewAuthority(*seed).KeyRing(n),
+			// This auditor taps only our own inbound stream; our own
+			// sends never traverse it, so we must not score ourselves.
+			LocalNode: &self}
+		// Same role-asymmetry gate as the harness: benched or starved
+		// replicas must not be accusable of withholding.
+		if !reg.Profile.ActiveReplicas.IsZero() ||
+			reg.Profile.Topology == core.Tree || reg.Profile.Topology == core.Chain {
+			fo.AsymmetricRoles = true
+		}
+		auditor = forensics.New(fo)
+		node.SetHandler(&auditTap{aud: auditor, id: types.NodeID(*id), start: startAt, inner: replica})
+	} else {
+		node.SetHandler(replica)
+	}
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -118,12 +140,20 @@ func main() {
 
 	var ops *http.Server
 	if *metricsAddr != "" {
-		srv, addr, err := startOps(*metricsAddr, opsMux(*proto, *id, time.Now(), tracer))
+		var report func() *forensics.Report
+		if auditor != nil {
+			report = func() *forensics.Report { return auditor.Report(time.Since(startAt)) }
+		}
+		srv, addr, err := startOps(*metricsAddr, opsMux(*proto, *id, startAt, tracer, report))
 		if err != nil {
 			log.Fatalf("ops endpoints: %v", err)
 		}
 		ops = srv
-		fmt.Printf("bftnode %d ops endpoints on http://%s (/metrics, /healthz, /debug/pprof)\n", *id, addr)
+		surface := "/metrics, /healthz, /debug/pprof"
+		if auditor != nil {
+			surface += ", /forensics"
+		}
+		fmt.Printf("bftnode %d ops endpoints on http://%s (%s)\n", *id, addr, surface)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -139,4 +169,22 @@ func main() {
 	if *stats {
 		tracer.WriteSummary(os.Stdout)
 	}
+	if auditor != nil {
+		auditor.Report(time.Since(startAt)).WriteTable(os.Stdout)
+	}
+}
+
+// auditTap interposes the accountability auditor on this node's inbound
+// deliveries: the auditor sees exactly what the replica sees, stamped
+// with node-local wall time, then the message proceeds unchanged.
+type auditTap struct {
+	aud   *forensics.Auditor
+	id    types.NodeID
+	start time.Time
+	inner transport.Handler
+}
+
+func (t *auditTap) Deliver(from types.NodeID, m types.Message) {
+	t.aud.Observe(time.Since(t.start), from, t.id, m)
+	t.inner.Deliver(from, m)
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"bftkit/internal/forensics"
 	"bftkit/internal/obsv"
 )
 
@@ -27,9 +28,13 @@ type opsHealth struct {
 
 // opsMux assembles the live ops surface served on -metrics-addr: the
 // tracer's counters and latency histograms in Prometheus text format, a
-// liveness probe, and the standard pprof profile handlers. The tracer
-// is mutex-guarded, so scrapes race-free against the running node.
-func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer) *http.ServeMux {
+// liveness probe, the standard pprof profile handlers, and — when the
+// accountability auditor is attached — its live verdict at /forensics.
+// The tracer and the auditor are mutex-guarded, so scrapes race-free
+// against the running node. report, when non-nil, snapshots the
+// auditor's verdict as of now; snapshotting also pushes the suspicion
+// gauges into the tracer, so /metrics stays current with /forensics.
+func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer, report func() *forensics.Report) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,6 +56,14 @@ func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer) *http.Ser
 			}
 		}
 		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/forensics", func(w http.ResponseWriter, r *http.Request) {
+		if report == nil {
+			http.Error(w, "forensics auditor not enabled (start bftnode with -forensics)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(report())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

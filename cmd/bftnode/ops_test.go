@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"bftkit/internal/crypto"
+	"bftkit/internal/forensics"
 	"bftkit/internal/obsv"
 	"bftkit/internal/types"
 )
@@ -41,7 +43,7 @@ func (m slottedTestMsg) Slot() (types.View, types.SeqNum) { return 0, m.seq }
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?$`)
 
 func TestMetricsEndpointServesParseableProm(t *testing.T) {
-	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), liveTracer()))
+	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), liveTracer(), nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -85,7 +87,7 @@ func TestMetricsEndpointServesParseableProm(t *testing.T) {
 }
 
 func TestHealthzReportsNodeIdentity(t *testing.T) {
-	srv := httptest.NewServer(opsMux("hotstuff", 2, time.Now(), nil))
+	srv := httptest.NewServer(opsMux("hotstuff", 2, time.Now(), nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -102,8 +104,46 @@ func TestHealthzReportsNodeIdentity(t *testing.T) {
 	}
 }
 
+func TestForensicsEndpointServesVerdict(t *testing.T) {
+	// With an auditor attached the endpoint serves the live verdict...
+	aud := forensics.New(forensics.Options{N: 4, F: 1,
+		Keys: crypto.NewAuthority(1).KeyRing(4)})
+	report := func() *forensics.Report { return aud.Report(time.Second) }
+	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil, report))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/forensics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /forensics: %s", resp.Status)
+	}
+	var rep forensics.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("forensics verdict is not JSON: %v", err)
+	}
+	if rep.N != 4 || rep.F != 1 || len(rep.Scores) != 4 {
+		t.Fatalf("verdict = %+v", rep)
+	}
+
+	// ...and without one, the route explains itself rather than 200-ing
+	// an empty verdict a dashboard would mistake for a clean bill.
+	bare := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil, nil))
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/forensics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /forensics: %s, want 404", resp2.Status)
+	}
+}
+
 func TestPprofIndexIsMounted(t *testing.T) {
-	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil))
+	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/pprof/")

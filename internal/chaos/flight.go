@@ -64,3 +64,10 @@ func (f *Flight) Write(path string) error {
 func FlightPath(artifactPath string) string {
 	return strings.TrimSuffix(artifactPath, ".json") + ".flight.json"
 }
+
+// ForensicsPath derives the accountability evidence bundle's filename
+// from a reproducer path: chaos-pbft-seed1-case0001.json →
+// chaos-pbft-seed1-case0001.forensics.json.
+func ForensicsPath(artifactPath string) string {
+	return strings.TrimSuffix(artifactPath, ".json") + ".forensics.json"
+}

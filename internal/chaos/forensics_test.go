@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/forensics"
+	"bftkit/internal/sim"
+)
+
+// TestZeroByzCampaignIsClean is the accountability layer's
+// false-positive gate: a campaign of generated schedules with every
+// Byzantine assignment stripped — leaving crashes, partitions, delay
+// spikes, client churn, lossy links — must never produce a misbehavior
+// proof or an accusation on any protocol. The runner itself enforces
+// this per run via InvFalseAccusation; this test drives a broad sweep
+// of it deliberately.
+func TestZeroByzCampaignIsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	protos := core.Names()
+	for i := 0; i < 3*len(protos); i++ {
+		s := Generate(rng, protos, i)
+		s.Config.Byz = nil // faults only: nobody misbehaves
+		rep := Run(s)
+		if rep.Forensics == nil {
+			t.Fatalf("case %d (%s): run carries no forensics verdict", i, s.Config.Protocol)
+		}
+		if !rep.Forensics.Clean() {
+			t.Fatalf("case %d (%s): honest run blamed somebody: proofs=%v accused=%v",
+				i, s.Config.Protocol, rep.Forensics.Proofs, rep.Forensics.Accused)
+		}
+		for _, v := range rep.Violations {
+			if v.Invariant == InvFalseAccusation {
+				t.Fatalf("case %d (%s): %s", i, s.Config.Protocol, v.Detail)
+			}
+		}
+	}
+}
+
+// TestChaosEquivocationConvicts: a generated-style schedule with an
+// equivocating leader on a signed protocol must end with a verifiable
+// equivocation proof naming the leader — and nobody else.
+func TestChaosEquivocationConvicts(t *testing.T) {
+	s := Schedule{Config: Config{
+		Protocol: "pbft", N: 4, F: 1, Clients: 2, Requests: 6,
+		Seed: 7, Net: sim.NetConfig{Delay: time.Millisecond, Jitter: 200 * time.Microsecond},
+		Byz: []ByzAssignment{{Node: 0, Spec: "equivocate"}},
+	}}
+	rep := Run(s)
+	if rep.Forensics == nil || len(rep.Forensics.Proofs) == 0 {
+		t.Fatalf("equivocating leader left no proof: %+v", rep.Forensics)
+	}
+	for _, p := range rep.Forensics.Proofs {
+		if p.Culprit != 0 {
+			t.Fatalf("proof blames %d, want leader 0: %v", p.Culprit, p)
+		}
+	}
+	found := false
+	for _, p := range rep.Forensics.Proofs {
+		if p.Proof == forensics.ProofEquivocation {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no equivocation proof among %v", rep.Forensics.Proofs)
+	}
+	// No violation of the false-accusation invariant: byz was assigned.
+	for _, v := range rep.Violations {
+		if v.Invariant == InvFalseAccusation {
+			t.Fatalf("byz schedule flagged false accusation: %s", v.Detail)
+		}
+	}
+}

@@ -42,6 +42,10 @@ type Failure struct {
 	// FlightPath is where the flight-recorder span dump was written
 	// alongside the reproducer ("" if no OutDir).
 	FlightPath string `json:"flight_path,omitempty"`
+	// ForensicsPath is where the accountability evidence bundle (the
+	// run's proofs and suspicion scores) was written alongside the
+	// reproducer ("" if no OutDir or the verdict was clean).
+	ForensicsPath string `json:"forensics_path,omitempty"`
 	// Report is the (shrunken) failing run.
 	Report *Report `json:"-"`
 }
@@ -132,6 +136,15 @@ func Fuzz(opts FuzzOptions) *FuzzResult {
 				if err := NewFlight(minRep, tracer).Write(f.FlightPath); err != nil {
 					logf("chaos: writing flight dump: %v", err)
 					f.FlightPath = ""
+				}
+				// Ship the accountability evidence with the reproducer:
+				// who the auditor blames for the minimal failing run.
+				if minRep.Forensics != nil && !minRep.Forensics.Clean() {
+					f.ForensicsPath = ForensicsPath(f.Path)
+					if err := minRep.Forensics.WriteJSON(f.ForensicsPath); err != nil {
+						logf("chaos: writing forensics bundle: %v", err)
+						f.ForensicsPath = ""
+					}
 				}
 			}
 		}

@@ -36,6 +36,12 @@ const (
 	// InvRuntime: a replica runtime detected a conflicting commit or
 	// ledger corruption on its own.
 	InvRuntime = "runtime-violation"
+	// InvFalseAccusation: the forensics auditor produced a misbehavior
+	// proof or a formal accusation on a schedule with zero Byzantine
+	// assignments — crashes, partitions, and delay spikes alone framed
+	// an honest replica. This is the accountability layer's soundness
+	// invariant: every proof must trace to an actual misbehavior.
+	InvFalseAccusation = "false-accusation"
 )
 
 // Violation is one invariant breach, timestamped on the virtual clock.

@@ -6,6 +6,7 @@ import (
 
 	"bftkit/internal/byz"
 	"bftkit/internal/core"
+	"bftkit/internal/forensics"
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
@@ -41,6 +42,11 @@ type Report struct {
 	Msgs       int64       `json:"msgs"`
 	Bytes      int64       `json:"bytes"`
 	Violations []Violation `json:"violations,omitempty"`
+	// Forensics is the accountability auditor's verdict over the run:
+	// misbehavior proofs, suspicion scores, accusations. On schedules
+	// with zero Byzantine assignments it must be Clean — the runner
+	// flags InvFalseAccusation otherwise.
+	Forensics *forensics.Report `json:"forensics,omitempty"`
 }
 
 // Failed reports whether any invariant was violated.
@@ -109,6 +115,7 @@ func RunRecorded(s Schedule) (*Report, *obsv.Tracer) {
 		Seed:      cfg.Seed,
 		Byzantine: byzm,
 		Trace:     tracer,
+		Forensics: &forensics.Options{},
 		// Commit every slot: speculative protocols keep lazy commit
 		// tails open for a whole checkpoint window, which would make
 		// acked-durability unobservable on short chaos workloads.
@@ -124,6 +131,28 @@ func RunRecorded(s Schedule) (*Report, *obsv.Tracer) {
 		},
 	})
 	oracle = NewOracle(cfg, c.Sched.Now)
+
+	// The schedule's crash timeline is administratively known downtime:
+	// the auditor must not read an injected crash as withholding. Pair
+	// each crash with its restart, or with the run horizon when the
+	// node stays down.
+	crashAt := make(map[types.NodeID]time.Duration)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvCrash:
+			if _, down := crashAt[ev.Node]; !down {
+				crashAt[ev.Node] = ev.At
+			}
+		case EvRestart:
+			if from, down := crashAt[ev.Node]; down {
+				c.Forensics.ExcuseDowntime(ev.Node, from, ev.At)
+				delete(crashAt, ev.Node)
+			}
+		}
+	}
+	for node, from := range crashAt {
+		c.Forensics.ExcuseDowntime(node, from, s.Quiet()+Grace+drainTime)
+	}
 
 	// Re-register every replica behind a delivery probe so the oracle
 	// sees each network delivery with its endpoints. This deliberately
@@ -234,6 +263,22 @@ func RunRecorded(s Schedule) (*Report, *obsv.Tracer) {
 		})
 	}
 
+	// The accountability soundness check: with no Byzantine assignment
+	// in the schedule, every proof and every accusation is a framing of
+	// an honest replica.
+	frep := c.Forensics.Report(c.Sched.Now())
+	if len(cfg.Byz) == 0 && !frep.Clean() && len(violations) < maxViolations {
+		detail := fmt.Sprintf("zero-byz schedule produced %d proofs, accused %v", len(frep.Proofs), frep.Accused)
+		if len(frep.Proofs) > 0 {
+			detail += ": " + frep.Proofs[0].String()
+		}
+		violations = append(violations, Violation{
+			Invariant: InvFalseAccusation,
+			At:        c.Sched.Now(),
+			Detail:    detail,
+		})
+	}
+
 	msgs, bytes := tracer.OrderingTotals()
 	return &Report{
 		Schedule:   s,
@@ -243,6 +288,7 @@ func RunRecorded(s Schedule) (*Report, *obsv.Tracer) {
 		Msgs:       msgs,
 		Bytes:      bytes,
 		Violations: violations,
+		Forensics:  frep,
 	}, tracer
 }
 

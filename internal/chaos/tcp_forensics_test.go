@@ -1,0 +1,93 @@
+package chaos
+
+// Forensics over real TCP: the accountability auditor taps every node's
+// inbound transport deliveries, so its verdicts must hold under real
+// serialization, reordering, and wall-clock jitter — clean on an honest
+// deployment, and a verifiable equivocation conviction when the leader
+// actually forks proposals.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftkit/internal/byz"
+	"bftkit/internal/crypto"
+	"bftkit/internal/forensics"
+	"bftkit/internal/harness"
+	"bftkit/internal/kvstore"
+	"bftkit/internal/types"
+)
+
+func runTCPForensics(t *testing.T, byzm map[types.NodeID]byz.Behavior) *forensics.Report {
+	t.Helper()
+	clu, err := harness.NewTCPCluster(harness.TCPOptions{
+		Protocol:  "pbft",
+		N:         4,
+		F:         1,
+		Seed:      13,
+		Byzantine: byzm,
+		Forensics: &forensics.Options{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Stop()
+
+	const requests = 15
+	for i := 1; i <= requests; i++ {
+		clu.Submit(kvstore.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("value-%d", i))))
+		if _, err := clu.AwaitDone(30 * time.Second); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	return clu.Forensics.Report(clu.Now())
+}
+
+// TestTCPForensicsCleanRun: an honest deployment over real TCP must end
+// with a clean verdict — wall-clock jitter, kernel scheduling, and
+// transport retries are exactly the noise the false-accusation guards
+// must absorb outside the simulator.
+func TestTCPForensicsCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network run with wall-clock timers")
+	}
+	rep := runTCPForensics(t, nil)
+	if !rep.Clean() {
+		t.Fatalf("honest TCP run not clean: proofs=%v accused=%v scores=%+v",
+			rep.Proofs, rep.Accused, rep.Scores)
+	}
+}
+
+// TestTCPForensicsEquivocationConvicts: an equivocating TCP leader must
+// be convicted by a proof that re-verifies offline — using only the
+// deployment's public keys, reconstructed from the seed the way any
+// third party with the key registry would.
+func TestTCPForensicsEquivocationConvicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network run with wall-clock timers")
+	}
+	rep := runTCPForensics(t, map[types.NodeID]byz.Behavior{0: byz.Equivocate{}})
+	if len(rep.Proofs) == 0 {
+		t.Fatalf("equivocating TCP leader left no proof: %+v", rep)
+	}
+	ring := crypto.NewAuthority(13).KeyRing(4)
+	equiv := false
+	for _, p := range rep.Proofs {
+		if p.Culprit != 0 {
+			t.Fatalf("proof frames replica %d, culprit is 0: %v", p.Culprit, p)
+		}
+		if err := p.Verify(ring, 1); err != nil {
+			t.Fatalf("proof does not re-verify offline: %v\n  %v", err, p)
+		}
+		equiv = equiv || p.Proof == forensics.ProofEquivocation
+	}
+	if !equiv {
+		t.Fatalf("no equivocation proof among %v", rep.Proofs)
+	}
+	for _, id := range rep.Accused {
+		if id != 0 {
+			t.Fatalf("honest replica %d accused on a TCP run: %+v", id, rep.Scores)
+		}
+	}
+}

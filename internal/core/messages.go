@@ -47,6 +47,10 @@ func (m *ReplyMsg) SigClaims(types.NodeID) []crypto.SigClaim {
 	return []crypto.SigClaim{{Signer: m.R.Replica, Digest: m.R.Digest(), Sig: m.R.Sig}}
 }
 
+// ReplyPayload exposes the signed reply for the forensics auditor's
+// divergent-result cross-check (structural, like obsv.Keyed).
+func (m *ReplyMsg) ReplyPayload() *types.Reply { return m.R }
+
 // ForwardMsg relays a request from a backup to the current leader, the
 // standard liveness mechanism when clients send to the wrong replica.
 type ForwardMsg struct {

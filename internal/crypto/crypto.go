@@ -229,6 +229,35 @@ func (a *Authority) PublicKey(id types.NodeID) ed25519.PublicKey {
 	return pub
 }
 
+// KeyRing is the public half of an Authority: participant identities
+// mapped to raw Ed25519 public keys. It is what an offline auditor —
+// a party with no private key material and no Authority — needs to
+// re-verify a forensic proof, and it serializes to JSON so evidence
+// bundles can carry the keys they were checked against.
+type KeyRing map[types.NodeID][]byte
+
+// KeyRing exports the public keys of participants 0..n-1.
+func (a *Authority) KeyRing(n int) KeyRing {
+	kr := make(KeyRing, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		kr[id] = append([]byte(nil), a.PublicKey(id)...)
+	}
+	return kr
+}
+
+// VerifySig checks sig over d against id's public key. Unlike
+// Verifier.VerifySig it performs no cost-model accounting and needs no
+// Authority, making it safe for auditors that must not perturb the
+// deterministic operation counts of the run they observe.
+func (k KeyRing) VerifySig(id types.NodeID, d types.Digest, sig []byte) bool {
+	pub, ok := k[id]
+	if !ok || len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), d[:], sig)
+}
+
 // Signer returns the signing handle for one participant.
 func (a *Authority) Signer(id types.NodeID) *Signer { return &Signer{auth: a, id: id} }
 

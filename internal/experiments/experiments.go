@@ -15,6 +15,7 @@ import (
 
 	"bftkit/internal/byz"
 	"bftkit/internal/core"
+	"bftkit/internal/forensics"
 	"bftkit/internal/harness"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
@@ -65,6 +66,7 @@ var All = []Experiment{
 	{"X15", "Per-phase message/byte accounting via the obsv layer (E2, P2)", X15PhaseAccounting},
 	{"X16", "Byzantine behaviors vs speculative fast paths (DC5–DC8, P6)", X16ByzantineFallback},
 	{"X17", "Critical-path attribution from request-scoped span trees (P2)", X17CriticalPath},
+	{"X18", "Who did it? Forensic attribution of Byzantine behaviors (P6)", X18WhoDidIt},
 }
 
 // Observe routes per-run observability output from every cluster the
@@ -118,6 +120,7 @@ type runCfg struct {
 	Tune        func(*core.Config)
 	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
 	Byzantine   map[types.NodeID]byz.Behavior
+	Forensics   *forensics.Options
 	Prepare     func(c *harness.Cluster)
 	// Window bounds the run when the protocol has perpetual timers
 	// (raftlite heartbeats); zero drains to idle.
@@ -148,6 +151,7 @@ func run(rc runCfg) (*harness.Cluster, result) {
 		Protocol: rc.Proto, N: rc.N, F: rc.F, Clients: rc.Clients,
 		Net: rc.Net, Seed: rc.Seed, Tune: rc.Tune, MakeReplica: rc.MakeReplica,
 		Byzantine: rc.Byzantine,
+		Forensics: rc.Forensics,
 		Trace:     tr,
 	})
 	tr.SetLabel(fmt.Sprintf("%s/n%d/seed%d", rc.Proto, c.Cfg.N, rc.Seed))

@@ -10,6 +10,7 @@ import (
 
 	"bftkit/internal/byz"
 	"bftkit/internal/core"
+	"bftkit/internal/forensics"
 	"bftkit/internal/harness"
 	"bftkit/internal/obsv"
 	"bftkit/internal/types"
@@ -133,7 +134,8 @@ func RunByzantine(w io.Writer, proto, spec string, nodes []types.NodeID, seed in
 		Window: 20 * time.Second, Tune: tune, Trace: baseTr})
 	atkTr := obsv.New(obsv.Options{})
 	c, atk := run(runCfg{Proto: proto, F: 1, Clients: 2, PerClient: 15, Seed: seed,
-		Window: 20 * time.Second, Tune: tune, Byzantine: byzMap, Trace: atkTr})
+		Window: 20 * time.Second, Tune: tune, Byzantine: byzMap, Trace: atkTr,
+		Forensics: &forensics.Options{}})
 
 	ids := make([]string, len(nodes))
 	for i, id := range nodes {
@@ -174,6 +176,19 @@ func RunByzantine(w io.Writer, proto, spec string, nodes []types.NodeID, seed in
 		a, bl := atkPh[ph], basePh[ph]
 		fmt.Fprintf(w, "%-14s %12d %+12d %14d %+14d\n",
 			ph, a.MsgsSent, a.MsgsSent-bl.MsgsSent, a.BytesSent, a.BytesSent-bl.BytesSent)
+	}
+
+	// Accountability: what the forensic auditor, watching only delivered
+	// messages, can pin on the attacker — and whether its proofs survive
+	// an offline re-check against the deployment's public keys.
+	fmt.Fprintln(w)
+	rep := c.Forensics.Report(c.Sched.Now())
+	rep.WriteTable(w)
+	ring := c.Auth.KeyRing(c.Cfg.N)
+	for _, p := range rep.Proofs {
+		if err := p.Verify(ring, c.Cfg.F); err != nil {
+			fmt.Fprintf(w, "  PROOF FAILED OFFLINE RE-VERIFICATION: %v\n", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,207 @@
+package forensics
+
+// Proof types: self-contained, JSON-serializable records of replica
+// misbehavior. Each proof carries every signature it rests on, so a
+// third party holding only the deployment's public keys (crypto.KeyRing,
+// or a live crypto.Verifier) can re-check it offline, long after the
+// run's transcripts are gone.
+//
+// Soundness rests on two properties of the repo's signing discipline:
+// every protocol's SigDigest embeds a kind tag plus the (view, seq)
+// slot, so a signature over a SigDigest is bound to exactly one slot of
+// one message kind; and types.Reply.Digest covers every reply field
+// except Replica and Sig, so two signed replies are comparable field by
+// field. What a signature cannot attest — how many times a message was
+// delivered, or who pushed bytes onto the wire — is recorded as the
+// auditor's observation and marked as such in the verification rules
+// below.
+
+import (
+	"fmt"
+	"time"
+
+	"bftkit/internal/core"
+	"bftkit/internal/types"
+)
+
+// Proof kinds.
+const (
+	// ProofEquivocation: one replica validly signed two conflicting
+	// messages of the same kind for the same (view, seq) slot.
+	ProofEquivocation = "equivocation"
+	// ProofForgedSig: a transport sender delivered a message whose
+	// signature claim does not verify under the claimed signer's key —
+	// a forged or garbled signature. The culprit is the sender, never
+	// the claimed signer (who may be the forgery's victim).
+	ProofForgedSig = "forged-sig"
+	// ProofReplay: one replica re-delivered an identical validly-signed
+	// ordering message to the same receiver well past any legitimate
+	// retransmission bound.
+	ProofReplay = "replay"
+	// ProofDivergentResult: one replica signed a reply whose result
+	// conflicts with f+1 matching signed replies for the same request
+	// at the same sequence number.
+	ProofDivergentResult = "divergent-result"
+)
+
+// SigVerifier is the only capability proof verification needs. Both
+// *crypto.Verifier (live, cost-accounted) and crypto.KeyRing (offline,
+// public keys only) satisfy it.
+type SigVerifier interface {
+	VerifySig(id types.NodeID, d types.Digest, sig []byte) bool
+}
+
+// Evidence is one retained signature claim together with the transport
+// context it was observed in. Signer/Digest/Sig are the verifiable
+// part; Sender, To, and At are the auditor's observation.
+type Evidence struct {
+	Signer types.NodeID  `json:"signer"`
+	Sender types.NodeID  `json:"sender"`
+	To     types.NodeID  `json:"to"`
+	Kind   string        `json:"kind"`
+	View   types.View    `json:"view"`
+	Seq    types.SeqNum  `json:"seq"`
+	Digest types.Digest  `json:"digest"`
+	Sig    []byte        `json:"sig"`
+	At     time.Duration `json:"at"`
+}
+
+// Proof is one verifiable misbehavior record.
+type Proof struct {
+	Proof   string        `json:"proof"` // one of the Proof* kinds
+	Culprit types.NodeID  `json:"culprit"`
+	At      time.Duration `json:"at"`
+	Detail  string        `json:"detail"`
+
+	// First/Second carry the claim evidence for equivocation (both),
+	// forged-sig (First only), and replay (First only).
+	First  *Evidence `json:"first,omitempty"`
+	Second *Evidence `json:"second,omitempty"`
+
+	// Replay attestation: identical deliveries observed to one receiver
+	// across [First.At, ReplayUntil].
+	ReplayCount int           `json:"replay_count,omitempty"`
+	ReplayUntil time.Duration `json:"replay_until,omitempty"`
+
+	// Divergent-result evidence: the culprit's signed reply against
+	// f+1 mutually-matching signed replies from distinct replicas.
+	Reply      *types.Reply   `json:"reply,omitempty"`
+	References []*types.Reply `json:"references,omitempty"`
+}
+
+// Verify re-checks the proof against sigs only: it returns nil when the
+// cryptographic core of the proof holds under v. f is the deployment's
+// fault threshold (used by divergent-result quorum sizing; ignored
+// otherwise).
+func (p *Proof) Verify(v SigVerifier, f int) error {
+	switch p.Proof {
+	case ProofEquivocation:
+		a, b := p.First, p.Second
+		if a == nil || b == nil {
+			return fmt.Errorf("equivocation proof needs two evidence entries")
+		}
+		if a.Signer != p.Culprit || b.Signer != p.Culprit {
+			return fmt.Errorf("evidence signers %v/%v do not match culprit %v", a.Signer, b.Signer, p.Culprit)
+		}
+		if a.Kind != b.Kind || a.View != b.View || a.Seq != b.Seq {
+			return fmt.Errorf("evidence entries are for different slots: %s(%d,%d) vs %s(%d,%d)",
+				a.Kind, a.View, a.Seq, b.Kind, b.View, b.Seq)
+		}
+		if a.Digest == b.Digest {
+			return fmt.Errorf("evidence entries carry the same digest — duplicates, not conflict")
+		}
+		if !v.VerifySig(a.Signer, a.Digest, a.Sig) {
+			return fmt.Errorf("first signature does not verify")
+		}
+		if !v.VerifySig(b.Signer, b.Digest, b.Sig) {
+			return fmt.Errorf("second signature does not verify")
+		}
+		return nil
+
+	case ProofForgedSig:
+		if p.First == nil {
+			return fmt.Errorf("forged-sig proof needs evidence")
+		}
+		if p.Culprit != p.First.Sender {
+			return fmt.Errorf("forged-sig culprit %v must be the observed sender %v", p.Culprit, p.First.Sender)
+		}
+		if len(p.First.Sig) == 0 {
+			return fmt.Errorf("empty signature is absence of a claim, not forgery")
+		}
+		if v.VerifySig(p.First.Signer, p.First.Digest, p.First.Sig) {
+			return fmt.Errorf("signature verifies — nothing was forged")
+		}
+		return nil
+
+	case ProofReplay:
+		if p.First == nil {
+			return fmt.Errorf("replay proof needs evidence")
+		}
+		if p.Culprit != p.First.Signer || p.Culprit != p.First.Sender {
+			return fmt.Errorf("replay culprit must be both signer and sender of the replayed message")
+		}
+		if p.ReplayCount < 2 {
+			return fmt.Errorf("replay count %d attests no repetition", p.ReplayCount)
+		}
+		if !v.VerifySig(p.First.Signer, p.First.Digest, p.First.Sig) {
+			return fmt.Errorf("replayed message's signature does not verify")
+		}
+		return nil
+
+	case ProofDivergentResult:
+		rp := p.Reply
+		if rp == nil || len(p.References) < f+1 {
+			return fmt.Errorf("divergent-result proof needs the culprit reply and >= f+1 references")
+		}
+		if rp.Replica != p.Culprit {
+			return fmt.Errorf("culprit reply is signed by %v, not culprit %v", rp.Replica, p.Culprit)
+		}
+		// The runtime's dedup sentinel is re-execution bookkeeping: an
+		// honest replica validly signs both the real result and a later
+		// "duplicate" for the same request, so a proof resting on a
+		// sentinel on either side proves nothing.
+		if string(rp.Result) == string(core.DuplicateResult) {
+			return fmt.Errorf("culprit result is the dedup sentinel, not an application result")
+		}
+		if !v.VerifySig(rp.Replica, rp.Digest(), rp.Sig) {
+			return fmt.Errorf("culprit reply signature does not verify")
+		}
+		seen := map[types.NodeID]bool{rp.Replica: true}
+		for i, ref := range p.References {
+			if ref == nil || seen[ref.Replica] {
+				return fmt.Errorf("reference %d missing or from a duplicate replica", i)
+			}
+			seen[ref.Replica] = true
+			if ref.Client != rp.Client || ref.ClientSeq != rp.ClientSeq || ref.Seq != rp.Seq ||
+				ref.Speculative != rp.Speculative || ref.History != rp.History {
+				return fmt.Errorf("reference %d answers a different request state", i)
+			}
+			if string(ref.Result) != string(p.References[0].Result) {
+				return fmt.Errorf("references disagree among themselves")
+			}
+			if string(ref.Result) == string(core.DuplicateResult) {
+				return fmt.Errorf("reference %d result is the dedup sentinel, not an application result", i)
+			}
+			if !v.VerifySig(ref.Replica, ref.Digest(), ref.Sig) {
+				return fmt.Errorf("reference %d signature does not verify", i)
+			}
+		}
+		if string(rp.Result) == string(p.References[0].Result) {
+			return fmt.Errorf("culprit result matches the references — no divergence")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown proof kind %q", p.Proof)
+}
+
+// String is the one-line log form.
+func (p *Proof) String() string {
+	s := fmt.Sprintf("%s: replica %d", p.Proof, p.Culprit)
+	if p.First != nil {
+		s += fmt.Sprintf(" [%s v%d seq%d]", p.First.Kind, p.First.View, p.First.Seq)
+	}
+	if p.Detail != "" {
+		s += " — " + p.Detail
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+// Report is the auditor's verdict over an observed run: every retained
+// proof, every replica's suspicion score, and the resulting accusation
+// list. It is the payload of bftnode's /forensics endpoint, the chaos
+// fuzzer's *.forensics.json evidence bundles, and bftbench's verdict
+// table.
+type Report struct {
+	N     int           `json:"n"`
+	F     int           `json:"f"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+
+	Proofs []*Proof `json:"proofs,omitempty"`
+	Scores []Score  `json:"scores"`
+	// Accused lists replicas either convicted by a proof or scoring at
+	// or above the accusation threshold, ascending.
+	Accused []types.NodeID `json:"accused,omitempty"`
+
+	// PhaseTraffic is the per-replica per-phase delivered-message count
+	// the scores were derived from, for the verdict table.
+	PhaseTraffic map[types.NodeID]map[string]int `json:"phase_traffic,omitempty"`
+}
+
+// Report snapshots the auditor's verdict as of end (use the cluster
+// clock's now for a live snapshot, or the run's end time after it).
+// It also pushes final suspicion gauges to the tracer, when one is
+// attached. Safe to call repeatedly.
+func (a *Auditor) Report(end time.Duration) *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if end < a.last {
+		end = a.last
+	}
+	r := &Report{
+		N: a.opt.N, F: a.opt.F,
+		Start: a.start, End: end,
+		Proofs:       append([]*Proof(nil), a.proofs...),
+		Scores:       a.scores(end),
+		PhaseTraffic: make(map[types.NodeID]map[string]int, a.opt.N),
+	}
+	for id, phases := range a.phaseSent {
+		cp := make(map[string]int, len(phases))
+		for p, n := range phases {
+			cp[p] = n
+		}
+		r.PhaseTraffic[id] = cp
+	}
+	for _, s := range r.Scores {
+		if s.Accused {
+			r.Accused = append(r.Accused, s.Node)
+		}
+		if a.opt.Tracer != nil {
+			a.opt.Tracer.SetSuspicion(s.Node, s.Suspicion)
+		}
+	}
+	sort.Slice(r.Accused, func(i, j int) bool { return r.Accused[i] < r.Accused[j] })
+	return r
+}
+
+// Clean reports whether the verdict holds nobody responsible: no
+// proofs, no accusations. The chaos false-positive guard asserts Clean
+// on every zero-Byzantine schedule.
+func (r *Report) Clean() bool { return len(r.Proofs) == 0 && len(r.Accused) == 0 }
+
+// WriteJSON writes the evidence bundle to path, pretty-printed.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteTable renders the verdict table: one row per replica with its
+// scores and standing, then one row per proof.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "forensics verdict (n=%d f=%d, window %v..%v)\n", r.N, r.F,
+		r.Start.Round(time.Millisecond), r.End.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-8s %-10s %-8s %-8s %-9s %s\n",
+		"replica", "suspicion", "withhold", "delay", "standing", "note")
+	for _, s := range r.Scores {
+		standing := "honest"
+		if s.Accused {
+			standing = "ACCUSED"
+		}
+		fmt.Fprintf(w, "  %-8d %-10.2f %-8.2f %-8.2f %-9s %s\n",
+			s.Node, s.Suspicion, s.Withhold, s.Delay, standing, s.Note)
+	}
+	if len(r.Proofs) == 0 {
+		fmt.Fprintf(w, "  no misbehavior proofs\n")
+		return
+	}
+	for _, p := range r.Proofs {
+		fmt.Fprintf(w, "  proof: %s\n", p)
+	}
+}

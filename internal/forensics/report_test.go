@@ -1,0 +1,189 @@
+package forensics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bftkit/internal/types"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenAuditor replays a fixed misbehavior script: replica 0
+// equivocates, replica 2 relays a garbled signature, replica 3 replays,
+// and replica 1 signs a divergent result. Everything is derived from
+// the deterministic test authority, so the evidence bytes are stable.
+func goldenAuditor(t *testing.T) (*Auditor, *Report) {
+	t.Helper()
+	a, auth := testAuditor(t, Options{ReplayThreshold: 3, ReplayWindow: 20 * time.Millisecond})
+
+	a.Observe(10*time.Millisecond, 0, 1, preprepare(auth, 0, 1, 5, "payload-A"))
+	a.Observe(12*time.Millisecond, 0, 2, preprepare(auth, 0, 1, 5, "payload-B"))
+
+	garbled := preprepare(auth, 0, 1, 6, "payload-C")
+	garbled.Sig[0] ^= 0xff
+	a.Observe(20*time.Millisecond, 2, 1, garbled)
+
+	replayed := preprepare(auth, 3, 2, 7, "payload-D")
+	for i := 0; i < 3; i++ {
+		a.Observe(time.Duration(30+15*i)*time.Millisecond, 3, 1, replayed)
+	}
+
+	for i := 2; i < 4; i++ {
+		a.Observe(time.Duration(70+i)*time.Millisecond, types.NodeID(i), types.ClientIDBase, signedReply(auth, types.NodeID(i), 9, "ok"))
+	}
+	a.Observe(75*time.Millisecond, 1, types.ClientIDBase, signedReply(auth, 1, 9, "tampered"))
+
+	return a, a.Report(100 * time.Millisecond)
+}
+
+func TestReportGolden(t *testing.T) {
+	_, r := goldenAuditor(t)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "report.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("report drifted from golden file (run with -update to regenerate)\ngot:\n%s", data)
+	}
+}
+
+// TestProofRoundTrip serializes every golden proof, re-reads it, and
+// verifies it offline with nothing but the public key ring — the
+// third-party auditor workflow.
+func TestProofRoundTrip(t *testing.T) {
+	a, r := goldenAuditor(t)
+	_ = a
+	if len(r.Proofs) != 4 {
+		t.Fatalf("want 4 proofs (equivocation, forged-sig, replay, divergent-result), got %v", r.Proofs)
+	}
+	ring := testRing(t)
+	kinds := map[string]bool{}
+	for _, p := range r.Proofs {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Proof
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Verify(ring, r.F); err != nil {
+			t.Fatalf("%s proof fails offline verification after round trip: %v", p.Proof, err)
+		}
+		kinds[back.Proof] = true
+	}
+	for _, k := range []string{ProofEquivocation, ProofForgedSig, ProofReplay, ProofDivergentResult} {
+		if !kinds[k] {
+			t.Fatalf("proof kind %s missing from golden run", k)
+		}
+	}
+}
+
+// TestProofTampering: any mutation of the evidence must break offline
+// verification.
+func TestProofTampering(t *testing.T) {
+	_, r := goldenAuditor(t)
+	ring := testRing(t)
+	for _, p := range r.Proofs {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate := func(f func(*Proof)) *Proof {
+			var cp Proof
+			if err := json.Unmarshal(data, &cp); err != nil {
+				t.Fatal(err)
+			}
+			f(&cp)
+			return &cp
+		}
+		var tampered []*Proof
+		switch p.Proof {
+		case ProofEquivocation:
+			tampered = append(tampered,
+				mutate(func(c *Proof) { c.First.Sig[0] ^= 1 }),
+				mutate(func(c *Proof) { c.Second.Digest[0] ^= 1 }),
+				mutate(func(c *Proof) { c.Culprit = 3 }),
+				mutate(func(c *Proof) { c.Second.Digest = c.First.Digest; c.Second.Sig = c.First.Sig }),
+			)
+		case ProofForgedSig:
+			tampered = append(tampered,
+				mutate(func(c *Proof) { c.First.Sender++ }),
+				mutate(func(c *Proof) { c.First.Sig = nil }),
+				// Substituting the genuine signature leaves nothing forged.
+				mutate(func(c *Proof) {
+					c.First.Sig = testAuth(t).Signer(c.First.Signer).Sign(c.First.Digest)
+				}),
+			)
+		case ProofReplay:
+			tampered = append(tampered,
+				mutate(func(c *Proof) { c.First.Sig[0] ^= 1 }),
+				mutate(func(c *Proof) { c.ReplayCount = 1 }),
+				mutate(func(c *Proof) { c.Culprit = 2 }),
+			)
+		case ProofDivergentResult:
+			tampered = append(tampered,
+				mutate(func(c *Proof) { c.Reply.Sig[0] ^= 1 }),
+				mutate(func(c *Proof) { c.Reply.Result = c.References[0].Result }),
+				mutate(func(c *Proof) { c.References = c.References[:0] }),
+				mutate(func(c *Proof) { c.References[0].Replica = c.Culprit }),
+			)
+		}
+		for i, tp := range tampered {
+			if err := tp.Verify(ring, r.F); err == nil {
+				t.Fatalf("tampered %s proof #%d still verifies", p.Proof, i)
+			}
+		}
+	}
+}
+
+func TestReportTableAndJSON(t *testing.T) {
+	_, r := goldenAuditor(t)
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"forensics verdict", "ACCUSED", "equivocation", "divergent-result"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("verdict table missing %q:\n%s", want, out)
+		}
+	}
+	if r.Clean() {
+		t.Fatal("guilty report claims to be clean")
+	}
+	path := filepath.Join(t.TempDir(), "evidence.forensics.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Proofs) != len(r.Proofs) || back.N != r.N {
+		t.Fatalf("evidence bundle round trip lost data: %+v", back)
+	}
+}

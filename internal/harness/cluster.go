@@ -16,6 +16,7 @@ import (
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/crypto/vpool"
+	"bftkit/internal/forensics"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
 	"bftkit/internal/sim"
@@ -71,6 +72,11 @@ type Options struct {
 	// submits batches, so workers only idle here; the field exists so
 	// bftbench can plumb one flag set to both substrates. Leave 0.
 	VerifyWorkers int
+	// Forensics, when set, runs the accountability auditor on the
+	// deployment's delivery stream (sim.Network.SetTap). N, F, and Keys
+	// are filled in from the cluster; Tracer defaults to Trace. The
+	// built auditor is exposed as Cluster.Forensics.
+	Forensics *forensics.Options
 }
 
 // Observer watches a running cluster's protocol-level events. All
@@ -97,6 +103,9 @@ type Cluster struct {
 	Clients  []*core.Client
 	Apps     []*kvstore.Store
 	Metrics  *Metrics
+	// Forensics is the accountability auditor, when Options.Forensics
+	// enabled one.
+	Forensics *forensics.Auditor
 
 	// DoneHook, when set, observes every completed request after the
 	// metrics collector (closed-loop workloads submit the next request
@@ -207,6 +216,25 @@ func NewCluster(opts Options) *Cluster {
 				tr.CryptoOp(node, obsv.CryptoMACVerify)
 			}
 		})
+	}
+
+	if opts.Forensics != nil {
+		fo := *opts.Forensics
+		fo.N, fo.F = n, f
+		fo.Keys = c.Auth.KeyRing(n)
+		if fo.Tracer == nil {
+			fo.Tracer = opts.Trace
+		}
+		// Profiles with E1 active-replica reduction legitimately bench
+		// replicas, and tree/chain topologies give interior nodes and
+		// hops structurally unequal traffic, so silence under those
+		// profiles must not convict (see Options).
+		if !reg.Profile.ActiveReplicas.IsZero() ||
+			reg.Profile.Topology == core.Tree || reg.Profile.Topology == core.Chain {
+			fo.AsymmetricRoles = true
+		}
+		c.Forensics = forensics.New(fo)
+		c.Net.SetTap(c.Forensics.Observe)
 	}
 
 	hooks := core.Hooks{

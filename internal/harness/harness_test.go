@@ -1,10 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 	"time"
 
+	"bftkit/internal/forensics"
+	"bftkit/internal/kvstore"
 	_ "bftkit/internal/protocols/pbft" // registers the protocol the cluster tests use
 	"bftkit/internal/types"
 )
@@ -235,6 +238,30 @@ func TestDeterministicClusters(t *testing.T) {
 	c2, t2 := run()
 	if c1 != c2 || t1 != t2 {
 		t.Fatalf("same seed diverged: (%d,%v) vs (%d,%v)", c1, t1, c2, t2)
+	}
+}
+
+func TestForensicsCleanOnHonestRun(t *testing.T) {
+	// Enabling the auditor must be a pure observer: the honest cluster
+	// completes its workload as usual and the forensic verdict is clean.
+	c := NewCluster(Options{
+		Protocol: "pbft", N: 4, Clients: 2, Seed: 7,
+		Forensics: &forensics.Options{},
+	})
+	c.Start()
+	c.ClosedLoop(10, func(cl, k int) []byte {
+		return kvstore.Put(fmt.Sprintf("c%d-k%d", cl, k), []byte("v"))
+	})
+	c.RunUntilIdle(30 * time.Second)
+	if c.Metrics.Completed == 0 {
+		t.Fatal("workload did not complete")
+	}
+	rep := c.Forensics.Report(c.Sched.Now())
+	if !rep.Clean() {
+		t.Fatalf("honest run not clean: proofs=%v accused=%v", rep.Proofs, rep.Accused)
+	}
+	if len(rep.Scores) != 4 {
+		t.Fatalf("expected a score per replica, got %d", len(rep.Scores))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"bftkit/internal/core"
 	"bftkit/internal/crypto"
 	"bftkit/internal/crypto/vpool"
+	"bftkit/internal/forensics"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
 	"bftkit/internal/transport"
@@ -67,6 +68,11 @@ type TCPOptions struct {
 	// MakeReplica, when set, overrides protocol construction for
 	// selected replicas (return nil to fall back to the registry).
 	MakeReplica func(id types.NodeID, cfg core.Config) core.Protocol
+	// Forensics, when set, runs the accountability auditor over every
+	// node's inbound delivery stream (a handler wrap on each transport
+	// node). N, F, and Keys are filled in from the deployment; Tracer
+	// defaults to Trace. The auditor is exposed as TCPCluster.Forensics.
+	Forensics *forensics.Options
 }
 
 // TCPCluster is a running multi-node TCP deployment in one process.
@@ -76,6 +82,10 @@ type TCPCluster struct {
 	Cfg  core.Config
 	// Addrs is the real listen address of every replica.
 	Addrs map[types.NodeID]string
+	// Forensics is the accountability auditor, when Opts.Forensics
+	// enabled one. Its methods are concurrency-safe, so the per-node
+	// event loops feed it directly.
+	Forensics *forensics.Auditor
 
 	start time.Time
 
@@ -167,6 +177,23 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 		replicas: make(map[types.NodeID]*tcpReplica, n),
 		doneCh:   make(chan *types.Request, 64),
 	}
+	if opts.Forensics != nil {
+		fo := *opts.Forensics
+		fo.N, fo.F = n, f
+		// Every node derives the same key material from the shared seed;
+		// the auditor only needs the public half.
+		fo.Keys = crypto.NewAuthority(opts.Seed).KeyRing(n)
+		if fo.Tracer == nil {
+			fo.Tracer = opts.Trace
+		}
+		// Same role-asymmetry gate as the sim cluster: benched or
+		// starved replicas must not be accusable of withholding.
+		if !reg.Profile.ActiveReplicas.IsZero() ||
+			reg.Profile.Topology == core.Tree || reg.Profile.Topology == core.Chain {
+			fo.AsymmetricRoles = true
+		}
+		c.Forensics = forensics.New(fo)
+	}
 
 	// Reserve a port per node by listening and closing; transport nodes
 	// re-bind the same addresses. The tiny reuse window is acceptable for
@@ -216,7 +243,7 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 		},
 	}
 	c.client = core.NewClient(clientID, cfg, c.clientNode, reg.ClientFor(cfg), cauth, chooks)
-	c.clientNode.SetHandler(c.client)
+	c.clientNode.SetHandler(c.tapHandler(clientID, c.client))
 	if err := c.clientNode.Start(); err != nil {
 		c.Stop()
 		return nil, err
@@ -228,6 +255,26 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 // Now returns wall-clock time since the cluster started — the time base
 // every Observer callback reports.
 func (c *TCPCluster) Now() time.Duration { return time.Since(c.start) }
+
+// tapHandler interposes the forensics auditor on one node's inbound
+// deliveries; without an auditor the handler passes through untouched.
+func (c *TCPCluster) tapHandler(id types.NodeID, h transport.Handler) transport.Handler {
+	if c.Forensics == nil {
+		return h
+	}
+	return &tcpTap{c: c, id: id, inner: h}
+}
+
+type tcpTap struct {
+	c     *TCPCluster
+	id    types.NodeID
+	inner transport.Handler
+}
+
+func (t *tcpTap) Deliver(from types.NodeID, m types.Message) {
+	t.c.Forensics.Observe(t.c.Now(), from, t.id, m)
+	t.inner.Deliver(from, m)
+}
 
 // startReplica builds one replica process: transport node (through the
 // PeerView rewrite), protocol instance, fresh application state.
@@ -300,7 +347,7 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 		proto = byz.Wrap(proto, b)
 	}
 	rep := core.NewReplica(id, c.Cfg, node, proto, app, auth, hooks)
-	node.SetHandler(rep)
+	node.SetHandler(c.tapHandler(id, rep))
 	if err := node.Start(); err != nil {
 		if eng != nil {
 			eng.Stop()

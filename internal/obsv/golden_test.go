@@ -36,6 +36,8 @@ func goldenTracer() *Tracer {
 	tr.Done(4*time.Millisecond, client, types.RequestKey{Client: client, ClientSeq: 1})
 	tr.ObserveCommitLatency(4 * time.Millisecond)
 	tr.ObserveQueueDepth(1)
+	tr.ForensicsProof("equivocation")
+	tr.SetSuspicion(1, 0.25)
 	return tr
 }
 

@@ -298,6 +298,11 @@ type Tracer struct {
 	// verifyPool accumulates the verification engine's counters.
 	verifyPool VerifyPoolStats
 
+	// forensics accumulates the accountability auditor's proof counters
+	// (by proof kind) and latest per-replica suspicion gauges.
+	forensicsProofs map[string]int64
+	suspicion       map[types.NodeID]float64
+
 	// CommitLatency observes submit→first-commit per request (fed by
 	// harness.Metrics); QueueDepth samples the substrate's in-flight
 	// message count at each send; SlotLatency observes first-message→
@@ -322,10 +327,10 @@ func New(opts Options) *Tracer {
 		opts.MaxEvents = 1 << 20
 	}
 	return &Tracer{
-		opts:          opts,
-		nodes:         make(map[types.NodeID]*nodeState),
-		slotFirst:     make(map[types.SeqNum]time.Duration),
-		slotDone:      make(map[types.SeqNum]struct{}),
+		opts:             opts,
+		nodes:            make(map[types.NodeID]*nodeState),
+		slotFirst:        make(map[types.SeqNum]time.Duration),
+		slotDone:         make(map[types.SeqNum]struct{}),
 		CommitLatency:    NewHistogram("commit-latency", "µs"),
 		QueueDepth:       NewHistogram("queue-depth", "msgs"),
 		SlotLatency:      NewHistogram("slot-latency", "µs"),
@@ -663,6 +668,53 @@ func (t *Tracer) VerifyPoolStats() VerifyPoolStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.verifyPool
+}
+
+// ForensicsProof counts one misbehavior proof of the given kind
+// emitted by the accountability auditor.
+func (t *Tracer) ForensicsProof(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.forensicsProofs == nil {
+		t.forensicsProofs = make(map[string]int64)
+	}
+	t.forensicsProofs[kind]++
+	t.mu.Unlock()
+}
+
+// SetSuspicion records a replica's latest suspicion score (a gauge:
+// each call replaces the previous value).
+func (t *Tracer) SetSuspicion(node types.NodeID, score float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.suspicion == nil {
+		t.suspicion = make(map[types.NodeID]float64)
+	}
+	t.suspicion[node] = score
+	t.mu.Unlock()
+}
+
+// ForensicsStats returns the accumulated proof counters by kind and
+// the latest suspicion gauge per replica.
+func (t *Tracer) ForensicsStats() (proofs map[string]int64, suspicion map[types.NodeID]float64) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	proofs = make(map[string]int64, len(t.forensicsProofs))
+	for k, v := range t.forensicsProofs {
+		proofs[k] = v
+	}
+	suspicion = make(map[types.NodeID]float64, len(t.suspicion))
+	for k, v := range t.suspicion {
+		suspicion[k] = v
+	}
+	return proofs, suspicion
 }
 
 // ObserveVerifyBatch feeds the verify-batch-size histogram.

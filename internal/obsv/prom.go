@@ -222,6 +222,51 @@ func WriteProm(w io.Writer, tracers ...*Tracer) error {
 			return err
 		}
 	}
+	// Forensics families: proof counters merge by summation across
+	// tracers; suspicion gauges take the latest (max on conflict, so a
+	// merged scrape never understates a replica).
+	fproofs := make(map[string]int64)
+	fsusp := make(map[types.NodeID]float64)
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		ps, ss := t.ForensicsStats()
+		for k, v := range ps {
+			fproofs[k] += v
+		}
+		for id, v := range ss {
+			if cur, ok := fsusp[id]; !ok || v > cur {
+				fsusp[id] = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_forensics_proofs_total Verifiable misbehavior proofs emitted by the accountability auditor, by proof kind.\n# TYPE bftkit_forensics_proofs_total counter\n"); err != nil {
+		return err
+	}
+	fkinds := make([]string, 0, len(fproofs))
+	for k := range fproofs {
+		fkinds = append(fkinds, k)
+	}
+	sort.Strings(fkinds)
+	for _, k := range fkinds {
+		if _, err := fmt.Fprintf(w, "bftkit_forensics_proofs_total{kind=%q} %d\n", k, fproofs[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_forensics_suspicion Latest per-replica suspicion score from the accountability auditor (0 = clean, 1 = misbehaving every scoring bucket).\n# TYPE bftkit_forensics_suspicion gauge\n"); err != nil {
+		return err
+	}
+	fnodes := make([]types.NodeID, 0, len(fsusp))
+	for id := range fsusp {
+		fnodes = append(fnodes, id)
+	}
+	sort.Slice(fnodes, func(i, j int) bool { return fnodes[i] < fnodes[j] })
+	for _, id := range fnodes {
+		if _, err := fmt.Fprintf(w, "bftkit_forensics_suspicion{node=%q} %g\n", id.String(), fsusp[id]); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(w, "# HELP bftkit_events_dropped_total Trace events dropped after the event-log cap.\n# TYPE bftkit_events_dropped_total counter\nbftkit_events_dropped_total %d\n", dropped); err != nil {
 		return err
 	}

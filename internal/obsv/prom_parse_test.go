@@ -266,6 +266,15 @@ func TestPromStrictConformance(t *testing.T) {
 							t.Errorf("counter sample %s under family %s", s.name, f.name)
 						}
 					}
+				case "gauge":
+					for _, s := range f.samples {
+						if strings.HasSuffix(f.name, "_total") {
+							t.Errorf("gauge %s must not be *_total", f.name)
+						}
+						if s.name != f.name {
+							t.Errorf("gauge sample %s under family %s", s.name, f.name)
+						}
+					}
 				case "histogram":
 					checkHistogramFamily(t, f)
 				default:
@@ -280,6 +289,7 @@ func TestPromStrictConformance(t *testing.T) {
 				"bftkit_phase_mac_total", "bftkit_phase_mac_verify_total",
 				"bftkit_commit_latency_microseconds", "bftkit_slot_latency_microseconds",
 				"bftkit_queue_depth_msgs", "bftkit_events_dropped_total",
+				"bftkit_forensics_proofs_total", "bftkit_forensics_suspicion",
 			} {
 				if !seenFamily[want] {
 					t.Errorf("family %s missing from exposition", want)

@@ -20,6 +20,7 @@ package chainrepl
 
 import (
 	"bftkit/internal/core"
+	"bftkit/internal/crypto"
 	"bftkit/internal/types"
 )
 
@@ -57,6 +58,18 @@ func slotDigest(v types.View, seq types.SeqNum, d types.Digest) types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: one claim per hop, each a named
+// replica's endorsement of the slot digest — receivers verify every hop
+// against hop.Replica, not the sender.
+func (m *ChainMsg) SigClaims(types.NodeID) []crypto.SigClaim {
+	sd := slotDigest(m.View, m.Seq, m.Digest)
+	claims := make([]crypto.SigClaim, 0, len(m.Hops))
+	for _, hop := range m.Hops {
+		claims = append(claims, crypto.SigClaim{Signer: hop.Replica, Digest: sd, Sig: hop.Sig})
+	}
+	return claims
+}
+
 // CommitNoticeMsg is the tail's signed commit announcement.
 type CommitNoticeMsg struct {
 	View   types.View
@@ -78,6 +91,12 @@ func (m *CommitNoticeMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("chain-commit").U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Digest)
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the named tail's signature —
+// receivers verify against m.Tail, not the sender.
+func (m *CommitNoticeMsg) SigClaims(types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: m.Tail, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // PanicMsg is the client's alarm that the chain stalled.

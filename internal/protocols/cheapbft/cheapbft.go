@@ -18,6 +18,7 @@ package cheapbft
 
 import (
 	"bftkit/internal/core"
+	"bftkit/internal/crypto"
 	"bftkit/internal/types"
 )
 
@@ -49,6 +50,12 @@ func (m *ProposeMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the leader's signature, which
+// receivers verify against the sender.
+func (m *ProposeMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // VoteMsg is an active replica's accept, broadcast within the active set.
 type VoteMsg struct {
 	View    types.View
@@ -71,6 +78,12 @@ func (m *VoteMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the voter's signature, which
+// receivers verify against the sender.
+func (m *VoteMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // UpdateMsg ships a committed batch to the passive replicas.
 type UpdateMsg struct {
 	View   types.View
@@ -91,6 +104,12 @@ func (m *UpdateMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("cheap-update").U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Batch.Digest())
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the active replica's signature
+// on the shipped batch, which passive receivers verify against the sender.
+func (m *UpdateMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // ViewChangeMsg rotates the active set (and the leader).
@@ -195,7 +214,7 @@ type CheapBFT struct {
 	pendingSet    map[types.RequestKey]bool
 	inFlight      map[types.RequestKey]bool
 	watch         map[types.RequestKey]bool
-	done      map[types.RequestKey]bool
+	done          map[types.RequestKey]bool
 	progressArmed bool
 
 	inViewChange bool

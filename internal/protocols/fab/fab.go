@@ -8,6 +8,7 @@ package fab
 
 import (
 	"bftkit/internal/core"
+	"bftkit/internal/crypto"
 	"bftkit/internal/types"
 )
 
@@ -39,6 +40,12 @@ func (m *ProposeMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the leader's signature, which
+// receivers verify against the sender.
+func (m *ProposeMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // AcceptMsg is a replica's accept, broadcast to everyone (phase 2,
 // quadratic — the phase FaB pays replicas to keep).
 type AcceptMsg struct {
@@ -60,6 +67,12 @@ func (m *AcceptMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("fab-accept").U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Digest).U64(uint64(m.Replica))
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the accepter's signature, which
+// receivers verify against the sender.
+func (m *AcceptMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // ViewChangeMsg carries accepted slots into the next view.
@@ -156,7 +169,7 @@ type FaB struct {
 	pendingSet    map[types.RequestKey]bool
 	inFlight      map[types.RequestKey]bool
 	watch         map[types.RequestKey]bool
-	done      map[types.RequestKey]bool
+	done          map[types.RequestKey]bool
 	progressArmed bool
 
 	inViewChange bool

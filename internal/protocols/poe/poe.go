@@ -48,6 +48,12 @@ func (m *ProposeMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the leader's signature, which
+// receivers verify against the sender.
+func (m *ProposeMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 func shareDigest(v types.View, seq types.SeqNum, d types.Digest) types.Digest {
 	var h types.Hasher
 	h.Str("poe-share").U64(uint64(v)).U64(uint64(seq)).Digest(d)
@@ -68,6 +74,12 @@ func (*ShareMsg) Kind() string { return "POE-SHARE" }
 
 // Slot implements obsv.Slotted.
 func (m *ShareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
+// SigClaims implements crypto.SigClaimer: the share signature, which
+// the collector verifies against the sender.
+func (m *ShareMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: shareDigest(m.View, m.Seq, m.Digest), Sig: m.Sig}}
+}
 
 // CertifyMsg broadcasts the 2f+1 certificate; replicas execute
 // speculatively on receipt (phase 3, linear).
@@ -99,6 +111,12 @@ func (m *CertifyMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("poe-certify").U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Digest)
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the collector's signature,
+// which receivers verify against the sender.
+func (m *CertifyMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // CheckpointMsg exchanges history digests for lazy durable commitment.
@@ -223,7 +241,7 @@ type PoE struct {
 	pendingSet    map[types.RequestKey]bool
 	inFlight      map[types.RequestKey]bool
 	watch         map[types.RequestKey]bool
-	done      map[types.RequestKey]bool
+	done          map[types.RequestKey]bool
 	progressArmed bool
 
 	cpVotes map[types.SeqNum]map[types.NodeID]types.Digest

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"bftkit/internal/core"
+	"bftkit/internal/crypto"
 	"bftkit/internal/protocols/pbft"
 	"bftkit/internal/types"
 )
@@ -48,6 +49,12 @@ func (m *PORequestMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the origin's preorder stamp,
+// which receivers verify against the sender.
+func (m *PORequestMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // POAckMsg acknowledges receipt of a preordered request (all-to-all).
 type POAckMsg struct {
 	Origin   types.NodeID
@@ -65,6 +72,12 @@ func (m *POAckMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("prime-poack").U64(uint64(m.Origin)).U64(m.LocalSeq).Digest(m.Digest).U64(uint64(m.Replica))
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the acker's signature, which
+// receivers verify against the sender.
+func (m *POAckMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // Options tunes a Prime replica.
@@ -131,7 +144,7 @@ type Prime struct {
 	po       map[poKey]*poState
 	elig     eligHeap
 	seen     map[types.RequestKey]bool
-	done map[types.RequestKey]bool
+	done     map[types.RequestKey]bool
 }
 
 // New returns a Prime replica with default options.

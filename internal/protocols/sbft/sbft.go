@@ -55,6 +55,12 @@ func (m *PrePrepareMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the leader's signature, which
+// receivers verify against the sender.
+func (m *PrePrepareMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // shareDigest is what replicas sign when accepting an assignment.
 func shareDigest(stage string, v types.View, seq types.SeqNum, d types.Digest) types.Digest {
 	var h types.Hasher
@@ -78,6 +84,12 @@ func (m *ShareMsg) Kind() string { return "SBFT-SHARE-" + m.Stage }
 
 // Slot implements obsv.Slotted.
 func (m *ShareMsg) Slot() (types.View, types.SeqNum) { return m.View, m.Seq }
+
+// SigClaims implements crypto.SigClaimer: the share signature, which
+// the collector verifies against the sender.
+func (m *ShareMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: shareDigest(m.Stage, m.View, m.Seq, m.Digest), Sig: m.Sig}}
+}
 
 // ProofMsg broadcasts a collector certificate. Stage is "prepare" (slow
 // path, 2f+1 sign shares), "commit" (slow path, 2f+1 commit shares) or
@@ -111,6 +123,12 @@ func (m *ProofMsg) SigDigest() types.Digest {
 	var h types.Hasher
 	h.Str("sbft-proof").Str(m.Stage).U64(uint64(m.View)).U64(uint64(m.Seq)).Digest(m.Digest)
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the collector's signature,
+// which receivers verify against the sender.
+func (m *ProofMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // ViewChangeMsg and NewViewMsg implement a compact PBFT-style view change
@@ -236,7 +254,7 @@ type SBFT struct {
 	pendingSet map[types.RequestKey]bool
 	inFlight   map[types.RequestKey]bool
 	watch      map[types.RequestKey]bool
-	done   map[types.RequestKey]bool
+	done       map[types.RequestKey]bool
 
 	progressArmed bool
 

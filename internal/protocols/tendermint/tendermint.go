@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"bftkit/internal/core"
+	"bftkit/internal/crypto"
 	"bftkit/internal/types"
 )
 
@@ -58,6 +59,12 @@ func (m *ProposalMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the proposer's signature,
+// which receivers verify against the sender.
+func (m *ProposalMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // VoteMsg is a prevote or precommit. A zero digest votes nil.
 type VoteMsg struct {
 	Type    string
@@ -80,6 +87,12 @@ func (m *VoteMsg) SigDigest() types.Digest {
 	h.Str("tm-vote").Str(m.Type).U64(uint64(m.Height)).U64(uint64(m.Round)).
 		Digest(m.Digest).U64(uint64(m.Replica))
 	return h.Sum()
+}
+
+// SigClaims implements crypto.SigClaimer: the voter's signature, which
+// receivers verify against the sender.
+func (m *VoteMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
 }
 
 // FetchProposalMsg asks a peer to re-send the batch behind a decided

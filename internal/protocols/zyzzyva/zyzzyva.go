@@ -56,6 +56,12 @@ func (m *OrderReqMsg) SigDigest() types.Digest {
 	return h.Sum()
 }
 
+// SigClaims implements crypto.SigClaimer: the leader's signature, which
+// receivers verify against the sender.
+func (m *OrderReqMsg) SigClaims(from types.NodeID) []crypto.SigClaim {
+	return []crypto.SigClaim{{Signer: from, Digest: m.SigDigest(), Sig: m.Sig}}
+}
+
 // CommitMsg is the repairer client's commit certificate: 2f+1 matching
 // speculative replies prove the slot's position in the history.
 type CommitMsg struct {

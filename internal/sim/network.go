@@ -102,6 +102,7 @@ type Network struct {
 	dropped    int64
 	inflight   int64
 	tracer     *obsv.Tracer
+	tap        func(at time.Duration, from, to types.NodeID, m types.Message)
 }
 
 // NewNetwork creates a network on the given scheduler.
@@ -129,6 +130,14 @@ func (n *Network) SetInterceptor(i Interceptor) { n.interc = i }
 // SetTracer attaches the observability sink; every send and delivery is
 // reported with its accounted wire size. Pass nil to detach.
 func (n *Network) SetTracer(t *obsv.Tracer) { n.tracer = t }
+
+// SetTap installs a delivery tap: fn observes every delivered message
+// (after crash/partition filtering, immediately before the handler) no
+// matter how handlers are later re-registered — the attachment point
+// the forensics auditor uses. Pass nil to detach.
+func (n *Network) SetTap(fn func(at time.Duration, from, to types.NodeID, m types.Message)) {
+	n.tap = fn
+}
 
 // Crash makes a node silent: it neither sends nor receives.
 func (n *Network) Crash(id types.NodeID) { n.crashed[id] = true }
@@ -305,6 +314,9 @@ func (n *Network) deliver(from, to types.NodeID, m types.Message, extra time.Dur
 			rs.BytesRecv += int64(size)
 			n.delivered++
 			n.tracer.MsgDelivered(n.sched.Now(), from, to, m, size)
+			if n.tap != nil {
+				n.tap(n.sched.Now(), from, to, m)
+			}
 			h.Deliver(from, m)
 		})
 	}
