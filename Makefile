@@ -1,4 +1,4 @@
-.PHONY: help check build test race vet bench bench-snapshot bench-compare fuzz tcp-smoke
+.PHONY: help check build test race vet bench bench-snapshot bench-compare fuzz tcp-smoke monitor-smoke
 
 # Benchmark filter for `make bench`, e.g. `make bench BENCH=Trace`.
 BENCH ?= .
@@ -13,6 +13,10 @@ fuzz: ## chaos campaign: 256 random fault schedules under the invariant oracle
 	go run ./cmd/bftbench -fuzz -fuzz-budget 256 -seed 1
 
 tcp-smoke: ## real-TCP cluster smoke: 4 bftnode processes + bftclient on localhost
+	./scripts/tcp_smoke.sh
+
+monitor-smoke: ## monitoring plane end to end: race-enabled monitor tests, then bftmon -once over a live cluster
+	go test -race -count=1 ./internal/monitor/...
 	./scripts/tcp_smoke.sh
 
 build: ## compile all packages

@@ -1,0 +1,195 @@
+// Command bftmon is the cluster observability plane: it scrapes every
+// node's ops surface (/metrics, /healthz, /forensics — what bftnode
+// serves on -metrics-addr) on a fixed interval, keeps bounded
+// time-series history, derives cluster health signals (throughput,
+// latency quantiles, stalls, view-change storms, stragglers, link
+// faults, forensics verdicts), and runs a deterministic alert-rule
+// engine over them.
+//
+// Modes:
+//
+//	bftmon -targets r0=:7100,r1=:7101,...            # live ANSI dashboard (-watch is the default)
+//	bftmon -targets ... -once -scrapes 8             # scrape 8 rounds, print report, exit
+//	bftmon -targets ... -once -exit-on-alert         # CI gate: exit 1 if any alert fired
+//	bftmon -targets ... -listen :9090                # also re-export an aggregated cluster /metrics
+//	bftmon -targets ... -json                        # stream alert transitions as JSON lines
+//
+// Example against a local 4-node deployment:
+//
+//	bftnode -id 0 ... -metrics-addr :7100 &   (and so on for 1..3)
+//	bftmon -targets r0=127.0.0.1:7100,r1=127.0.0.1:7101,r2=127.0.0.1:7102,r3=127.0.0.1:7103
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"bftkit/internal/monitor"
+)
+
+func main() {
+	targetsFlag := flag.String("targets", "", "comma-separated name=host:port ops addresses to scrape (name optional: bare host:port gets node<i>)")
+	interval := flag.Duration("interval", time.Second, "scrape interval")
+	window := flag.Int("window", 8, "lookback for rate/delta derivations, in scrapes")
+	once := flag.Bool("once", false, "scrape -scrapes rounds, print the report, and exit")
+	scrapes := flag.Int("scrapes", 8, "rounds to run with -once")
+	watch := flag.Bool("watch", false, "auto-refreshing ANSI dashboard (default mode when no -once)")
+	exitOnAlert := flag.Bool("exit-on-alert", false, "exit 1 if any alert fires (with -once: evaluated at the end; otherwise: on the first alert)")
+	listen := flag.String("listen", "", "serve the aggregated cluster /metrics, /api/signals, /api/alerts, and a text dashboard on this address")
+	jsonOut := flag.Bool("json", false, "emit alert transitions as JSON lines on stdout")
+	flag.Parse()
+
+	targets, err := parseTargets(*targetsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bftmon: %v\n", err)
+		os.Exit(2)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "bftmon: no -targets given")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	alerted := make(chan struct{}, 1)
+	m := monitor.New(monitor.Config{
+		Targets:  targets,
+		Interval: *interval,
+		Window:   *window,
+		OnAlert: func(a monitor.Alert) {
+			if *jsonOut {
+				json.NewEncoder(os.Stdout).Encode(a)
+			} else if !*watch {
+				fmt.Printf("%s %s\n", a.At.Format(time.RFC3339), a.String())
+			}
+			if a.State == "firing" {
+				select {
+				case alerted <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+
+	if *listen != "" {
+		srv := &http.Server{Addr: *listen, Handler: m.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "bftmon: listen: %v\n", err)
+				os.Exit(2)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bftmon: aggregated cluster metrics on http://%s/metrics\n", *listen)
+	}
+
+	if *once {
+		runOnce(m, *scrapes, *interval, *exitOnAlert)
+		return
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *exitOnAlert {
+		go func() {
+			<-alerted
+			// Let the final dashboard/log line land, then fail.
+			time.Sleep(50 * time.Millisecond)
+			renderFinal(m, *watch)
+			os.Exit(1)
+		}()
+	}
+	if *watch {
+		go watchLoop(ctx, m, *interval)
+	}
+	m.Run(ctx)
+	renderFinal(m, *watch)
+	if *exitOnAlert && len(m.Alerts()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOnce drives a bounded number of scrape rounds synchronously —
+// the CI mode. The report is the plain dashboard plus the transition
+// log; with -exit-on-alert any fired alert (even if since resolved)
+// fails the run.
+func runOnce(m *monitor.Monitor, scrapes int, interval time.Duration, exitOnAlert bool) {
+	if scrapes < 2 {
+		scrapes = 2 // one scrape derives no rates
+	}
+	for i := 0; i < scrapes; i++ {
+		m.Tick(time.Now())
+		if i != scrapes-1 {
+			time.Sleep(interval)
+		}
+	}
+	renderFinal(m, false)
+	fired := firedCount(m)
+	if fired > 0 && exitOnAlert {
+		fmt.Fprintf(os.Stderr, "bftmon: %d alert(s) fired\n", fired)
+		os.Exit(1)
+	}
+}
+
+func firedCount(m *monitor.Monitor) int {
+	n := 0
+	for _, a := range m.Alerts() {
+		if a.State == "firing" {
+			n++
+		}
+	}
+	return n
+}
+
+// renderFinal prints the closing report: dashboard snapshot and the
+// full alert transition log.
+func renderFinal(m *monitor.Monitor, color bool) {
+	monitor.RenderDashboard(os.Stdout, m.Signals(), m.Firing(), color)
+	if log := m.Alerts(); len(log) > 0 {
+		fmt.Println("\nalert transitions:")
+		monitor.RenderAlertLog(os.Stdout, log)
+	}
+}
+
+func watchLoop(ctx context.Context, m *monitor.Monitor, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			fmt.Print(monitor.WatchFrame(m.Signals(), m.Firing()))
+		}
+	}
+}
+
+// parseTargets reads name=host:port pairs; a bare host:port gets a
+// positional name so dashboards stay readable.
+func parseTargets(s string) ([]monitor.Target, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []monitor.Target
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			name, addr = fmt.Sprintf("node%d", i), part
+		}
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -targets entry %q (want name=host:port)", part)
+		}
+		out = append(out, monitor.Target{Name: name, BaseURL: addr})
+	}
+	return out, nil
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"bftkit/internal/core"
@@ -28,6 +29,7 @@ import (
 	"bftkit/internal/forensics"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
+	"bftkit/internal/ops"
 	"bftkit/internal/transport"
 	"bftkit/internal/types"
 )
@@ -70,6 +72,7 @@ func main() {
 	}
 	cfg.Scheme = reg.Profile.AuthOrdering
 
+	startAt := time.Now()
 	node := transport.NewNode(types.NodeID(*id), peers, *seed)
 	node.SetMaxFrame(*maxFrame)
 	auth := crypto.NewAuthority(*seed)
@@ -77,6 +80,8 @@ func main() {
 	var engine *vpool.Engine
 	if *stats || *metricsAddr != "" {
 		tracer = obsv.New(obsv.Options{Label: fmt.Sprintf("%s/r%d", *proto, *id)})
+		tracer.SetNodeInfo(obsv.NodeInfo{Node: types.NodeID(*id), Protocol: *proto,
+			N: n, F: cfg.F, Start: startAt})
 		node.SetTracer(tracer)
 		auth.SetObserver(func(nid types.NodeID, op crypto.Op) {
 			switch op {
@@ -98,9 +103,13 @@ func main() {
 			node.SetInboundPrepare(engine.Prepare())
 		}
 	}
+	var lastSeq atomic.Uint64
 	hooks := core.Hooks{
 		Trace: tracer,
 		OnCommit: func(_ types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, _ *types.CommitProof, _ time.Duration) {
+			if s := uint64(seq); s > lastSeq.Load() {
+				lastSeq.Store(s)
+			}
 			log.Printf("commit view=%d seq=%d (%d requests)", v, seq, b.Len())
 		},
 		OnViolation: func(_ types.NodeID, err error) {
@@ -111,7 +120,6 @@ func main() {
 		hooks.Logf = log.Printf
 	}
 	replica := core.NewReplica(types.NodeID(*id), cfg, node, reg.NewReplica(cfg), kvstore.New(), auth, hooks)
-	startAt := time.Now()
 	var auditor *forensics.Auditor
 	if *forensic {
 		self := types.NodeID(*id)
@@ -138,17 +146,17 @@ func main() {
 	node.Do(replica.Start)
 	fmt.Printf("bftnode %d (%s, n=%d, f=%d) listening on %s\n", *id, *proto, n, cfg.F, peers[types.NodeID(*id)])
 
-	var ops *http.Server
+	var opsSrv *http.Server
 	if *metricsAddr != "" {
 		var report func() *forensics.Report
 		if auditor != nil {
 			report = func() *forensics.Report { return auditor.Report(time.Since(startAt)) }
 		}
-		srv, addr, err := startOps(*metricsAddr, opsMux(*proto, *id, startAt, tracer, report))
+		srv, addr, err := ops.Serve(*metricsAddr, opsMux(*proto, *id, n, cfg.F, startAt, &lastSeq, tracer, report))
 		if err != nil {
 			log.Fatalf("ops endpoints: %v", err)
 		}
-		ops = srv
+		opsSrv = srv
 		surface := "/metrics, /healthz, /debug/pprof"
 		if auditor != nil {
 			surface += ", /forensics"
@@ -159,8 +167,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	if ops != nil {
-		ops.Close()
+	if opsSrv != nil {
+		opsSrv.Close()
 	}
 	node.Stop()
 	if engine != nil {

@@ -1,87 +1,28 @@
 package main
 
 import (
-	"encoding/json"
-	"net"
 	"net/http"
-	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"bftkit/internal/forensics"
 	"bftkit/internal/obsv"
+	"bftkit/internal/ops"
 )
 
-// opsHealth is the /healthz payload. Transport carries the connection
-// manager's counters (dials, reconnects, frame rejects) so a probe can
-// tell a node that is up-but-isolated from one that is serving peers.
-type opsHealth struct {
-	Status        string               `json:"status"`
-	Protocol      string               `json:"protocol"`
-	Node          int                  `json:"node"`
-	UptimeSeconds float64              `json:"uptime_seconds"`
-	Transport     *obsv.TransportStats `json:"transport,omitempty"`
-	// VerifyPool reports the verification engine's mechanism counters
-	// (work performed vs recalled, garbage rejected); present only when
-	// the engine has been active.
-	VerifyPool *obsv.VerifyPoolStats `json:"verify_pool,omitempty"`
-}
-
-// opsMux assembles the live ops surface served on -metrics-addr: the
-// tracer's counters and latency histograms in Prometheus text format, a
-// liveness probe, the standard pprof profile handlers, and — when the
-// accountability auditor is attached — its live verdict at /forensics.
-// The tracer and the auditor are mutex-guarded, so scrapes race-free
-// against the running node. report, when non-nil, snapshots the
-// auditor's verdict as of now; snapshotting also pushes the suspicion
-// gauges into the tracer, so /metrics stays current with /forensics.
-func opsMux(protocol string, id int, start time.Time, tr *obsv.Tracer, report func() *forensics.Report) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		tr.WriteProm(w)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		h := opsHealth{
-			Status:        "ok",
-			Protocol:      protocol,
-			Node:          id,
-			UptimeSeconds: time.Since(start).Seconds(),
+// opsMux assembles this node's live ops surface (internal/ops) served
+// on -metrics-addr: Prometheus /metrics, a timestamped /healthz
+// identity+liveness probe, pprof, and — when the accountability
+// auditor is attached — its live verdict at /forensics. lastSeq, when
+// non-nil, feeds the replica's committed-slot high-water mark into
+// /healthz so a cluster monitor can measure progress and stragglers.
+func opsMux(protocol string, id, n, f int, start time.Time, lastSeq *atomic.Uint64, tr *obsv.Tracer, report func() *forensics.Report) *http.ServeMux {
+	health := func() ops.Health {
+		h := ops.Health{Protocol: protocol, Node: id, N: n, F: f}
+		if lastSeq != nil {
+			h.LastCommitSeq = lastSeq.Load()
 		}
-		if tr != nil {
-			ts := tr.TransportStats()
-			h.Transport = &ts
-			if vs := tr.VerifyPoolStats(); vs.Total() > 0 {
-				h.VerifyPool = &vs
-			}
-		}
-		json.NewEncoder(w).Encode(h)
-	})
-	mux.HandleFunc("/forensics", func(w http.ResponseWriter, r *http.Request) {
-		if report == nil {
-			http.Error(w, "forensics auditor not enabled (start bftnode with -forensics)", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(report())
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
-
-// startOps binds addr and serves the mux in the background; the caller
-// closes the returned server on shutdown. The listener's address comes
-// back separately so ":0" picks a free port and the log line names it.
-func startOps(addr string, mux *http.ServeMux) (*http.Server, net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
+		return h
 	}
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return srv, ln.Addr(), nil
+	return ops.Mux(health, start, tr, report)
 }

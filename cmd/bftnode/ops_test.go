@@ -7,12 +7,14 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"bftkit/internal/crypto"
 	"bftkit/internal/forensics"
 	"bftkit/internal/obsv"
+	"bftkit/internal/ops"
 	"bftkit/internal/types"
 )
 
@@ -43,7 +45,7 @@ func (m slottedTestMsg) Slot() (types.View, types.SeqNum) { return 0, m.seq }
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?$`)
 
 func TestMetricsEndpointServesParseableProm(t *testing.T) {
-	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), liveTracer(), nil))
+	srv := httptest.NewServer(opsMux("pbft", 0, 4, 1, time.Now(), nil, liveTracer(), nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -87,7 +89,10 @@ func TestMetricsEndpointServesParseableProm(t *testing.T) {
 }
 
 func TestHealthzReportsNodeIdentity(t *testing.T) {
-	srv := httptest.NewServer(opsMux("hotstuff", 2, time.Now(), nil, nil))
+	start := time.Now().Add(-3 * time.Second)
+	var lastSeq atomic.Uint64
+	lastSeq.Store(17)
+	srv := httptest.NewServer(opsMux("hotstuff", 2, 4, 1, start, &lastSeq, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -95,12 +100,27 @@ func TestHealthzReportsNodeIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var h opsHealth
+	var h ops.Health
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatalf("healthz is not JSON: %v", err)
 	}
-	if h.Status != "ok" || h.Protocol != "hotstuff" || h.Node != 2 {
+	if h.Status != "ok" || h.Protocol != "hotstuff" || h.Node != 2 || h.N != 4 || h.F != 1 {
 		t.Fatalf("healthz = %+v", h)
+	}
+	if h.LastCommitSeq != 17 {
+		t.Fatalf("last_commit_seq = %d, want 17", h.LastCommitSeq)
+	}
+	// The staleness triple: process start, the server's own clock at
+	// response time, and monotonic uptime. A scraper dates samples by
+	// these, so all three must be present and consistent.
+	if !h.StartTime.Equal(start.Truncate(0)) && h.StartTime.Unix() != start.Unix() {
+		t.Fatalf("start_time = %v, want %v", h.StartTime, start)
+	}
+	if h.ServerTime.IsZero() || h.ServerTime.Before(h.StartTime) {
+		t.Fatalf("server_time = %v not after start_time %v", h.ServerTime, h.StartTime)
+	}
+	if h.UptimeSeconds < 3 {
+		t.Fatalf("uptime_seconds = %v, want >= 3", h.UptimeSeconds)
 	}
 }
 
@@ -109,7 +129,7 @@ func TestForensicsEndpointServesVerdict(t *testing.T) {
 	aud := forensics.New(forensics.Options{N: 4, F: 1,
 		Keys: crypto.NewAuthority(1).KeyRing(4)})
 	report := func() *forensics.Report { return aud.Report(time.Second) }
-	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil, report))
+	srv := httptest.NewServer(opsMux("pbft", 0, 4, 1, time.Now(), nil, nil, report))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/forensics")
@@ -130,7 +150,7 @@ func TestForensicsEndpointServesVerdict(t *testing.T) {
 
 	// ...and without one, the route explains itself rather than 200-ing
 	// an empty verdict a dashboard would mistake for a clean bill.
-	bare := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil, nil))
+	bare := httptest.NewServer(opsMux("pbft", 0, 4, 1, time.Now(), nil, nil, nil))
 	defer bare.Close()
 	resp2, err := http.Get(bare.URL + "/forensics")
 	if err != nil {
@@ -143,7 +163,7 @@ func TestForensicsEndpointServesVerdict(t *testing.T) {
 }
 
 func TestPprofIndexIsMounted(t *testing.T) {
-	srv := httptest.NewServer(opsMux("pbft", 0, time.Now(), nil, nil))
+	srv := httptest.NewServer(opsMux("pbft", 0, 4, 1, time.Now(), nil, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/pprof/")

@@ -26,6 +26,14 @@ type CheckpointManager struct {
 	// fetching state for, so a malicious snapshot can be rejected.
 	expected map[types.SeqNum]types.Digest
 	fetching bool
+	// fetchSeq/fetchTries drive fetch retries: the transport is lossy,
+	// so a single FetchStateMsg (or its StateMsg response) can vanish in
+	// reconnect churn. Every newer certified checkpoint re-requests,
+	// rotating through the voters, until a snapshot lands — without
+	// this an in-dark replica whose one fetch was dropped stays at its
+	// boot state forever while the cluster commits past it.
+	fetchSeq   types.SeqNum
+	fetchTries int
 
 	// StableCount counts checkpoints this replica has stabilized
 	// (experiment X13 reads it).
@@ -137,15 +145,21 @@ func (cm *CheckpointManager) maybeStabilize(seq types.SeqNum) {
 		if led.LastExecuted() < seq {
 			// In-dark: the network moved past us (P4's second purpose).
 			// Remember the certified hash and fetch the state from one
-			// of the voters.
+			// of the voters; each newer certified checkpoint retries
+			// (rotating voters) in case the previous fetch was lost.
 			cm.expected[seq] = hash
-			if !cm.fetching {
+			if !cm.fetching || seq > cm.fetchSeq {
 				cm.fetching = true
+				cm.fetchSeq = seq
+				var peers []types.NodeID
 				for _, v := range voters {
 					if v != cm.env.ID() {
-						cm.env.Send(v, &FetchStateMsg{Seq: seq})
-						break
+						peers = append(peers, v)
 					}
+				}
+				if len(peers) > 0 {
+					cm.env.Send(peers[cm.fetchTries%len(peers)], &FetchStateMsg{Seq: seq})
+					cm.fetchTries++
 				}
 			}
 			return
@@ -208,7 +222,11 @@ func (cm *CheckpointManager) onState(from types.NodeID, m *StateMsg) {
 	led.Fastforward(m.Seq)
 	led.SetStable(&ledger.Checkpoint{Seq: m.Seq, StateHash: m.StateHash})
 	cm.StableCount++
-	delete(cm.expected, m.Seq)
+	for s := range cm.expected {
+		if s <= m.Seq {
+			delete(cm.expected, s)
+		}
+	}
 	cm.env.Logf("state transfer: fast-forwarded to seq %d", m.Seq)
 	if cm.Fastforwarded != nil {
 		cm.Fastforwarded(m.Seq)

@@ -67,6 +67,7 @@ var All = []Experiment{
 	{"X16", "Byzantine behaviors vs speculative fast paths (DC5–DC8, P6)", X16ByzantineFallback},
 	{"X17", "Critical-path attribution from request-scoped span trees (P2)", X17CriticalPath},
 	{"X18", "Who did it? Forensic attribution of Byzantine behaviors (P6)", X18WhoDidIt},
+	{"X19", "Fault-detection latency through the monitoring plane (P3, P6)", X19FaultDetection},
 }
 
 // Observe routes per-run observability output from every cluster the

@@ -121,13 +121,14 @@ func TestExperimentSmoke(t *testing.T) {
 // DESIGN.md's index: X1–X14 for the paper's claims, X15 for the
 // measured per-phase accounting, X16 for the Byzantine-behavior
 // fallback table, X17 for the span-tree critical-path attribution,
-// X18 for forensic attribution, plus the A-series ablations.
+// X18 for forensic attribution, X19 for the monitoring plane's
+// fault-detection latency, plus the A-series ablations.
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(All) != 18+len(Ablations) {
-		t.Fatalf("registry has %d experiments, want 18 paper claims + %d ablations",
+	if len(All) != 19+len(Ablations) {
+		t.Fatalf("registry has %d experiments, want 19 paper claims + %d ablations",
 			len(All), len(Ablations))
 	}
-	for i := 0; i < 18; i++ {
+	for i := 0; i < 19; i++ {
 		want := fmt.Sprintf("X%d", i+1)
 		if All[i].ID != want {
 			t.Fatalf("experiment %d has ID %s, want %s", i, All[i].ID, want)

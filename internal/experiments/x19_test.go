@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestX19FaultDetectionLatency pins the monitoring plane's detection
+// guarantees per fault class: the correct alert fires within the
+// scenario's scrape-interval bound, nothing outside the allowed
+// correlated set co-fires, and a clean run under load raises no alert
+// at all. Scenarios run in parallel — each owns its own ports, netem
+// fabric and monitor, and the bounds are counted in scrape intervals,
+// which absorb scheduler jitter.
+func TestX19FaultDetectionLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network monitor run with wall-clock scrape intervals")
+	}
+	for _, f := range x19Faults {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			r := x19Measure(f)
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.completed == 0 {
+				t.Fatalf("no client requests completed — the deployment never worked")
+			}
+			if f.rule == "" {
+				if len(r.extras) != 0 {
+					t.Fatalf("clean run fired alerts: %v", x19Dedup(r.extras))
+				}
+				return
+			}
+			if r.detected < 0 {
+				t.Fatalf("%s never fired within %d intervals (co-fired: %v)",
+					f.rule, f.bound+6, x19Dedup(r.extras))
+			}
+			if r.detected > f.bound {
+				t.Errorf("%s detected in %d intervals, bound is %d", f.rule, r.detected, f.bound)
+			}
+			allowed := map[string]bool{}
+			for _, a := range f.allowed {
+				allowed[a] = true
+			}
+			for _, e := range x19Dedup(r.extras) {
+				if !allowed[e] {
+					t.Errorf("unexpected co-fired alert %q (allowed: %v)", e, f.allowed)
+				}
+			}
+		})
+	}
+}
+
+// TestX19RegistryEntry keeps the experiment reachable from bftbench.
+func TestX19RegistryEntry(t *testing.T) {
+	e, ok := ByID("X19")
+	if !ok {
+		t.Fatal("X19 missing from the experiment registry")
+	}
+	if e.Run == nil || e.Title == "" {
+		t.Fatalf("X19 registry entry incomplete: %+v", e)
+	}
+}

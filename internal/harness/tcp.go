@@ -12,7 +12,9 @@ package harness
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bftkit/internal/byz"
@@ -22,6 +24,7 @@ import (
 	"bftkit/internal/forensics"
 	"bftkit/internal/kvstore"
 	"bftkit/internal/obsv"
+	"bftkit/internal/ops"
 	"bftkit/internal/transport"
 	"bftkit/internal/types"
 )
@@ -73,6 +76,14 @@ type TCPOptions struct {
 	// node). N, F, and Keys are filled in from the deployment; Tracer
 	// defaults to Trace. The auditor is exposed as TCPCluster.Forensics.
 	Forensics *forensics.Options
+	// Ops gives every replica its own tracer and a live ops HTTP server
+	// (/metrics, /healthz, /forensics) on a loopback port — the same
+	// surface cmd/bftnode serves — so a cluster monitor (cmd/bftmon,
+	// internal/monitor) can scrape an in-process deployment exactly as
+	// it would a real one. Addresses are stable across KillReplica/
+	// RestartReplica (see OpsAddrs); killing a replica also closes its
+	// ops server, so scrapes fail exactly while the process is down.
+	Ops bool
 }
 
 // TCPCluster is a running multi-node TCP deployment in one process.
@@ -82,12 +93,25 @@ type TCPCluster struct {
 	Cfg  core.Config
 	// Addrs is the real listen address of every replica.
 	Addrs map[types.NodeID]string
+	// OpsAddrs is each replica's ops-surface address when Opts.Ops is
+	// set — the scrape targets for a monitor. A replica keeps its ops
+	// address across kill/restart, so a scraper's target list stays
+	// valid for the deployment's lifetime.
+	OpsAddrs map[types.NodeID]string
 	// Forensics is the accountability auditor, when Opts.Forensics
 	// enabled one. Its methods are concurrency-safe, so the per-node
 	// event loops feed it directly.
 	Forensics *forensics.Auditor
 
 	start time.Time
+
+	// clientAddr is the client's listen address. Replicas carry it in
+	// their peer tables so a restarted replica can redial the client:
+	// replies otherwise route only over the inbound connection the
+	// client's request dial established, and a replica that restarts
+	// after that dial has no return path until the client happens to
+	// retransmit — its replies would be dropped as undeliverable.
+	clientAddr string
 
 	// obsMu serializes observer fan-out: replica hooks fire on per-node
 	// event loops concurrently, but Observer implementations assume the
@@ -105,10 +129,12 @@ type TCPCluster struct {
 }
 
 type tcpReplica struct {
-	node *transport.Node
-	rep  *core.Replica
-	app  *kvstore.Store
-	eng  *vpool.Engine
+	node   *transport.Node
+	rep    *core.Replica
+	app    *kvstore.Store
+	eng    *vpool.Engine
+	tracer *obsv.Tracer
+	opsSrv *http.Server
 }
 
 // newEngine builds one node's verification engine per the options, or
@@ -197,15 +223,24 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 
 	// Reserve a port per node by listening and closing; transport nodes
 	// re-bind the same addresses. The tiny reuse window is acceptable for
-	// a localhost test harness.
-	addrs, err := reserveAddrs(n + 1)
+	// a localhost test harness. Ops mode reserves one extra port per
+	// replica so the scrape surface survives restarts at a fixed address.
+	extra := 0
+	if opts.Ops {
+		extra = n
+		c.OpsAddrs = make(map[types.NodeID]string, n)
+	}
+	addrs, err := reserveAddrs(n + 1 + extra)
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
 		c.Addrs[types.NodeID(i)] = addrs[i]
+		if opts.Ops {
+			c.OpsAddrs[types.NodeID(i)] = addrs[n+1+i]
+		}
 	}
-	clientAddr := addrs[n]
+	c.clientAddr = addrs[n]
 
 	for i := 0; i < n; i++ {
 		if err := c.startReplica(types.NodeID(i)); err != nil {
@@ -213,9 +248,11 @@ func NewTCPCluster(opts TCPOptions) (*TCPCluster, error) {
 			return nil, err
 		}
 	}
+	clientAddr := c.clientAddr
 
 	// The client dials real replica addresses (PeerView interposes on
-	// inter-replica links only) and listens for replies on its own port.
+	// replica-originated dials only) and listens for replies on its own
+	// port.
 	clientID := types.ClientIDBase
 	cpeers := make(map[types.NodeID]string, n+1)
 	for id, addr := range c.Addrs {
@@ -279,10 +316,11 @@ func (t *tcpTap) Deliver(from types.NodeID, m types.Message) {
 // startReplica builds one replica process: transport node (through the
 // PeerView rewrite), protocol instance, fresh application state.
 func (c *TCPCluster) startReplica(id types.NodeID) error {
-	peers := make(map[types.NodeID]string, len(c.Addrs))
+	peers := make(map[types.NodeID]string, len(c.Addrs)+1)
 	for pid, addr := range c.Addrs {
 		peers[pid] = addr
 	}
+	peers[types.ClientIDBase] = c.clientAddr
 	if c.Opts.PeerView != nil {
 		view, err := c.Opts.PeerView(id, peers)
 		if err != nil {
@@ -294,7 +332,16 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 	}
 
 	node := transport.NewNode(id, peers, c.Opts.Seed)
-	if c.Opts.Trace != nil {
+	// Ops mode gives the replica its own tracer (so its /metrics reflect
+	// only itself, like a real process); otherwise the shared deployment
+	// tracer, when present, aggregates across nodes.
+	var tracer *obsv.Tracer
+	if c.Opts.Ops {
+		tracer = obsv.New(obsv.Options{Label: fmt.Sprintf("%s/r%d", c.Opts.Protocol, id)})
+		tracer.SetNodeInfo(obsv.NodeInfo{Node: id, Protocol: c.Opts.Protocol,
+			N: c.Cfg.N, F: c.Cfg.F, Start: time.Now()})
+		node.SetTracer(tracer)
+	} else if c.Opts.Trace != nil {
 		node.SetTracer(c.Opts.Trace)
 	}
 	auth := crypto.NewAuthority(c.Opts.Seed)
@@ -303,8 +350,13 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 		node.SetInboundPrepare(eng.Prepare())
 	}
 	app := kvstore.New()
+	var lastSeq atomic.Uint64
 	hooks := core.Hooks{
+		Trace: tracer,
 		OnCommit: func(id types.NodeID, v types.View, seq types.SeqNum, b *types.Batch, proof *types.CommitProof, _ time.Duration) {
+			if s := uint64(seq); s > lastSeq.Load() {
+				lastSeq.Store(s)
+			}
 			at := c.Now()
 			c.obsMu.Lock()
 			defer c.obsMu.Unlock()
@@ -343,7 +395,12 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 	if proto == nil {
 		proto = c.Reg.NewReplica(c.Cfg)
 	}
-	if b := c.Opts.Byzantine[id]; b != nil {
+	// Byzantine assignments are read under the cluster mutex so
+	// SetByzantine can arm a behavior between a kill and a restart.
+	c.mu.Lock()
+	b := c.Opts.Byzantine[id]
+	c.mu.Unlock()
+	if b != nil {
 		proto = byz.Wrap(proto, b)
 	}
 	rep := core.NewReplica(id, c.Cfg, node, proto, app, auth, hooks)
@@ -356,10 +413,49 @@ func (c *TCPCluster) startReplica(id types.NodeID) error {
 	}
 	node.Do(rep.Start)
 
+	var opsSrv *http.Server
+	if c.Opts.Ops {
+		health := func() ops.Health {
+			return ops.Health{Protocol: c.Opts.Protocol, Node: int(id),
+				N: c.Cfg.N, F: c.Cfg.F, LastCommitSeq: lastSeq.Load()}
+		}
+		var report func() *forensics.Report
+		if c.Forensics != nil {
+			report = func() *forensics.Report { return c.Forensics.Report(c.Now()) }
+		}
+		srv, _, err := ops.Serve(c.OpsAddrs[id], ops.Mux(health, time.Now(), tracer, report))
+		if err != nil {
+			node.Stop()
+			if eng != nil {
+				eng.Stop()
+			}
+			return fmt.Errorf("harness: ops server for %v: %w", id, err)
+		}
+		opsSrv = srv
+	}
+
 	c.mu.Lock()
-	c.replicas[id] = &tcpReplica{node: node, rep: rep, app: app, eng: eng}
+	c.replicas[id] = &tcpReplica{node: node, rep: rep, app: app, eng: eng,
+		tracer: tracer, opsSrv: opsSrv}
 	c.mu.Unlock()
 	return nil
+}
+
+// SetByzantine arms (or, with nil, clears) a byz behavior for replica
+// id. It affects the next start of that replica: the standard sequence
+// for corrupting a node mid-run is KillReplica, SetByzantine,
+// RestartReplica — the restarted process comes back wrapped.
+func (c *TCPCluster) SetByzantine(id types.NodeID, b byz.Behavior) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Opts.Byzantine == nil {
+		c.Opts.Byzantine = make(map[types.NodeID]byz.Behavior)
+	}
+	if b == nil {
+		delete(c.Opts.Byzantine, id)
+		return
+	}
+	c.Opts.Byzantine[id] = b
 }
 
 // KillReplica stops replica id's transport and event loop — process
@@ -371,6 +467,9 @@ func (c *TCPCluster) KillReplica(id types.NodeID) {
 	delete(c.replicas, id)
 	c.mu.Unlock()
 	if r != nil {
+		if r.opsSrv != nil {
+			r.opsSrv.Close()
+		}
 		r.node.Stop()
 		if r.eng != nil {
 			r.eng.Stop()
@@ -433,6 +532,9 @@ func (c *TCPCluster) Stop() {
 	c.replicas = make(map[types.NodeID]*tcpReplica)
 	c.mu.Unlock()
 	for _, r := range reps {
+		if r.opsSrv != nil {
+			r.opsSrv.Close()
+		}
 		r.node.Stop()
 		if r.eng != nil {
 			r.eng.Stop()

@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Rule is one deterministic alert rule: the named signal must be >=
+// Threshold for For consecutive evaluations to fire, and must then
+// stay below ClearBelow (hysteresis — defaults to Threshold) for
+// ClearFor consecutive evaluations to resolve. Everything is counted
+// in evaluations, not wall time, so canned sample streams replay
+// identically.
+type Rule struct {
+	Name      string  `json:"name"`
+	Signal    string  `json:"signal"`
+	Threshold float64 `json:"threshold"`
+	// For is the consecutive breach count required to fire (min 1).
+	For int `json:"for"`
+	// ClearBelow is the resolve threshold; 0 means Threshold. A gap
+	// between the two stops a signal oscillating around the line from
+	// flapping the alert.
+	ClearBelow float64 `json:"clear_below,omitempty"`
+	// ClearFor is the consecutive clear count required to resolve
+	// (min 1).
+	ClearFor int    `json:"clear_for,omitempty"`
+	Severity string `json:"severity,omitempty"` // "critical"|"warning"
+	Help     string `json:"help,omitempty"`
+}
+
+func (r Rule) clearBelow() float64 {
+	if r.ClearBelow > 0 {
+		return r.ClearBelow
+	}
+	return r.Threshold
+}
+
+// Alert is one state transition (or, from Firing(), a live firing
+// state).
+type Alert struct {
+	Rule     string    `json:"rule"`
+	Scope    string    `json:"scope"` // target name, or "cluster"
+	State    string    `json:"state"` // "firing" | "resolved"
+	Value    float64   `json:"value"` // signal value at transition
+	At       time.Time `json:"at"`
+	Since    time.Time `json:"since"` // first breach of the current episode
+	Severity string    `json:"severity,omitempty"`
+	Help     string    `json:"help,omitempty"`
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("[%s] %s %s scope=%s value=%g", a.Severity, a.Rule, a.State, a.Scope, a.Value)
+}
+
+// Engine evaluates a rule set against successive signal snapshots and
+// reports firing/resolved transitions. It is deterministic: the same
+// sequence of snapshots always produces the same transitions.
+type Engine struct {
+	rules []Rule
+	state map[string]*ruleState // key: rule|scope
+}
+
+type ruleState struct {
+	breaches int // consecutive evaluations at/above threshold
+	clears   int // consecutive evaluations below clearBelow while firing
+	firing   bool
+	since    time.Time
+	value    float64
+	rule     Rule
+	scope    string
+}
+
+func NewEngine(rules []Rule) *Engine {
+	return &Engine{rules: rules, state: make(map[string]*ruleState)}
+}
+
+// Eval runs one evaluation round over signal → scope → value and
+// returns the transitions it caused, deterministically ordered. A
+// scope that disappears from the input (node removed) keeps its state
+// but is not evaluated.
+func (e *Engine) Eval(at time.Time, values map[string]map[string]float64) []Alert {
+	var out []Alert
+	for _, r := range e.rules {
+		scopes := values[r.Signal]
+		names := make([]string, 0, len(scopes))
+		for sc := range scopes {
+			names = append(names, sc)
+		}
+		sort.Strings(names)
+		for _, sc := range names {
+			v := scopes[sc]
+			key := r.Name + "|" + sc
+			st := e.state[key]
+			if st == nil {
+				st = &ruleState{rule: r, scope: sc}
+				e.state[key] = st
+			}
+			st.value = v
+			if !st.firing {
+				if v >= r.Threshold {
+					if st.breaches == 0 {
+						st.since = at
+					}
+					st.breaches++
+					if st.breaches >= max(1, r.For) {
+						st.firing = true
+						st.clears = 0
+						out = append(out, e.alert(st, "firing", at))
+					}
+				} else {
+					st.breaches = 0
+				}
+				continue
+			}
+			// Firing: hysteresis — only a sustained drop below the clear
+			// line resolves.
+			if v < r.clearBelow() {
+				st.clears++
+				if st.clears >= max(1, r.ClearFor) {
+					st.firing = false
+					st.breaches = 0
+					st.clears = 0
+					out = append(out, e.alert(st, "resolved", at))
+				}
+			} else {
+				st.clears = 0
+			}
+		}
+	}
+	return out
+}
+
+func (e *Engine) alert(st *ruleState, state string, at time.Time) Alert {
+	return Alert{
+		Rule:     st.rule.Name,
+		Scope:    st.scope,
+		State:    state,
+		Value:    st.value,
+		At:       at,
+		Since:    st.since,
+		Severity: st.rule.Severity,
+		Help:     st.rule.Help,
+	}
+}
+
+// Firing lists the currently-firing states, deterministically ordered.
+func (e *Engine) Firing() []Alert {
+	keys := make([]string, 0, len(e.state))
+	for k, st := range e.state {
+		if st.firing {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Alert, 0, len(keys))
+	for _, k := range keys {
+		st := e.state[k]
+		out = append(out, e.alert(st, "firing", st.since))
+	}
+	return out
+}
+
+// DefaultRules is the stock rule set bftmon ships with. Thresholds are
+// set so a clean, progressing cluster is silent: view changes, link
+// churn and verify backlog all sit at zero in steady state, so any
+// sustained signal is a fault, not noise.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "node_unreachable", Signal: SigNodeDown, Threshold: 1, For: 1,
+			Severity: "critical", Help: "scrape age exceeded two intervals; the node's ops surface is gone"},
+		{Name: "progress_stall", Signal: SigProgressStall, Threshold: 1, For: 3,
+			Severity: "critical", Help: "client demand is flowing but no replica committed a new slot all window"},
+		{Name: "view_change_storm", Signal: SigViewChangeRate, Threshold: 8, For: 2, ClearBelow: 2,
+			Severity: "critical", Help: "sustained view-change traffic; the cluster is burning slots on leader elections"},
+		{Name: "replica_straggler", Signal: SigSlotLag, Threshold: 8, For: 3, ClearBelow: 4,
+			Severity: "warning", Help: "this replica's committed slot trails the cluster high-water mark"},
+		{Name: "link_failures", Signal: SigLinkFaultRate, Threshold: 0.5, For: 2, ClearBelow: 0.1,
+			Severity: "warning", Help: "sustained dial failures, connection drops or reconnect churn on this node's transport"},
+		{Name: "partition_suspected", Signal: SigPartitionNodes, Threshold: 2, For: 2,
+			Severity: "critical", Help: "two or more nodes show active link faults; the connection matrix suggests a partition"},
+		{Name: "verify_saturation", Signal: SigVerifyQueueAvg, Threshold: 64, For: 3, ClearBelow: 16,
+			Severity: "warning", Help: "inbound signature-verification backlog is sustained; the verify pool is saturated"},
+		{Name: "byzantine_proof", Signal: SigForensicsProof, Threshold: 1, For: 1,
+			Severity: "critical", Help: "the accountability auditor holds a verifiable misbehavior proof"},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed replays a canned per-tick value stream for one signal/scope
+// through an engine and returns every transition, proving the engine
+// is deterministic on sample streams alone.
+func feed(t *testing.T, e *Engine, signal, scope string, stream []float64) []Alert {
+	t.Helper()
+	var out []Alert
+	for i, v := range stream {
+		out = append(out, e.Eval(ts(i), map[string]map[string]float64{signal: {scope: v}})...)
+	}
+	return out
+}
+
+func TestRuleForDuration(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "storm", Signal: "vc", Threshold: 8, For: 3}})
+	// Two breaches, a dip, then three sustained: only the sustained run fires.
+	got := feed(t, e, "vc", "r0", []float64{9, 10, 2, 9, 9, 9})
+	if len(got) != 1 || got[0].State != "firing" {
+		t.Fatalf("transitions = %+v, want one firing", got)
+	}
+	if !got[0].At.Equal(ts(5)) {
+		t.Fatalf("fired at %v, want tick 5 (third consecutive breach)", got[0].At)
+	}
+	if !got[0].Since.Equal(ts(3)) {
+		t.Fatalf("since = %v, want tick 3 (episode start)", got[0].Since)
+	}
+}
+
+func TestRuleHysteresis(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "storm", Signal: "vc", Threshold: 8, For: 1, ClearBelow: 2, ClearFor: 2}})
+	// Fires at 9; 5 and 3 are below threshold but above ClearBelow, so it
+	// stays firing; two consecutive ticks under 2 resolve it.
+	got := feed(t, e, "vc", "r0", []float64{9, 5, 3, 1, 1, 0})
+	if len(got) != 2 {
+		t.Fatalf("transitions = %+v, want firing+resolved", got)
+	}
+	if got[0].State != "firing" || !got[0].At.Equal(ts(0)) {
+		t.Fatalf("first = %+v", got[0])
+	}
+	if got[1].State != "resolved" || !got[1].At.Equal(ts(4)) {
+		t.Fatalf("resolved = %+v, want at tick 4 (second consecutive clear)", got[1])
+	}
+}
+
+func TestRuleRefire(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "lag", Signal: "slot_lag", Threshold: 8, For: 2, ClearBelow: 4}})
+	got := feed(t, e, "slot_lag", "r2", []float64{9, 9, 0, 9, 9})
+	want := []string{"firing", "resolved", "firing"}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %v", got, want)
+	}
+	for i, st := range want {
+		if got[i].State != st {
+			t.Fatalf("transition %d = %+v, want %s", i, got[i], st)
+		}
+	}
+}
+
+func TestEngineScopesAreIndependent(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "down", Signal: "node_down", Threshold: 1, For: 2}})
+	for i := 0; i < 3; i++ {
+		vals := map[string]map[string]float64{"node_down": {"r0": 1, "r1": 0}}
+		trans := e.Eval(ts(i), vals)
+		if i == 1 {
+			if len(trans) != 1 || trans[0].Scope != "r0" {
+				t.Fatalf("tick %d transitions = %+v", i, trans)
+			}
+		} else if len(trans) != 0 {
+			t.Fatalf("tick %d transitions = %+v, want none", i, trans)
+		}
+	}
+	firing := e.Firing()
+	if len(firing) != 1 || firing[0].Scope != "r0" || firing[0].Rule != "down" {
+		t.Fatalf("firing = %+v", firing)
+	}
+}
+
+func TestEngineDeterministicReplay(t *testing.T) {
+	stream := []float64{0, 9, 9, 1, 9, 9, 9, 0, 0, 0}
+	run := func() []Alert {
+		e := NewEngine(DefaultRules())
+		var out []Alert
+		for i, v := range stream {
+			out = append(out, e.Eval(ts(i), map[string]map[string]float64{
+				SigViewChangeRate: {"r0": v},
+				SigNodeDown:       {"r0": 0},
+			})...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d transitions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The stream produces two storm episodes: ticks 1-2 fire, the dip to
+	// 1 (below ClearBelow 2) resolves, and ticks 4-5 re-fire.
+	var fires, resolves int
+	for _, tr := range a {
+		if tr.Rule == "view_change_storm" {
+			if tr.State == "firing" {
+				fires++
+			} else {
+				resolves++
+			}
+		}
+	}
+	if fires != 2 || resolves != 2 {
+		t.Fatalf("storm fired %d/resolved %d times, want 2/2 (transitions: %+v)", fires, resolves, a)
+	}
+}
+
+func TestDefaultRulesQuietOnCleanSignals(t *testing.T) {
+	e := NewEngine(DefaultRules())
+	clean := &ClusterSignals{
+		Nodes: []NodeSignals{
+			{Name: "r0", Up: true, CommitSeq: 100, CommitRate: 12},
+			{Name: "r1", Up: true, CommitSeq: 100, CommitRate: 12},
+			{Name: "r2", Up: true, CommitSeq: 99, CommitRate: 12, SlotLag: 1},
+			{Name: "r3", Up: true, CommitSeq: 100, CommitRate: 12},
+		},
+		Reachable: 4, Total: 4, ClusterCommitRate: 12,
+	}
+	for i := 0; i < 20; i++ {
+		if trans := e.Eval(ts(i), clean.Values()); len(trans) != 0 {
+			t.Fatalf("clean signals produced transitions: %+v", trans)
+		}
+	}
+	if f := e.Firing(); len(f) != 0 {
+		t.Fatalf("clean signals left alerts firing: %+v", f)
+	}
+}
+
+func TestAlertStringAndLog(t *testing.T) {
+	a := Alert{Rule: "node_unreachable", Scope: "r1", State: "firing", Value: 1,
+		At: ts(3), Since: ts(2), Severity: "critical"}
+	s := a.String()
+	for _, want := range []string{"node_unreachable", "firing", "r1", "critical"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("alert string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ANSI fragments for the watch dashboard. Renderers take color=false
+// for logs, CI and -once output.
+const (
+	ansiClear  = "\x1b[2J\x1b[H"
+	ansiRed    = "\x1b[31m"
+	ansiYellow = "\x1b[33m"
+	ansiGreen  = "\x1b[32m"
+	ansiDim    = "\x1b[2m"
+	ansiBold   = "\x1b[1m"
+	ansiReset  = "\x1b[0m"
+)
+
+func paint(color bool, code, s string) string {
+	if !color {
+		return s
+	}
+	return code + s + ansiReset
+}
+
+// RenderDashboard writes the live cluster view: one row per node, the
+// cluster aggregate line, and the firing alerts. With color it is the
+// auto-refreshing bftmon -watch screen; without, a plain text snapshot.
+func RenderDashboard(w io.Writer, sig *ClusterSignals, firing []Alert, color bool) {
+	if sig == nil {
+		fmt.Fprintln(w, "bftmon: no scrape completed yet")
+		return
+	}
+	fmt.Fprintf(w, "%s  %s\n",
+		paint(color, ansiBold, "bftmon cluster view"),
+		paint(color, ansiDim, sig.At.Format(time.TimeOnly)))
+	fmt.Fprintf(w, "nodes %d/%d reachable   commit seq %d   throughput %.1f slots/s   p50 %s   p99 %s\n\n",
+		sig.Reachable, sig.Total, int64(sig.ClusterCommitSeq), sig.ClusterCommitRate,
+		fmtMicros(sig.LatencyP50us), fmtMicros(sig.LatencyP99us))
+
+	fmt.Fprintf(w, "%-10s %-12s %9s %9s %7s %7s %8s %8s %6s\n",
+		"NODE", "STATUS", "SEQ", "SLOTS/S", "LAG", "VC/S", "LINKF/S", "VFYQ", "SUSP")
+	for _, n := range sig.Nodes {
+		status := paint(color, ansiGreen, "up")
+		switch {
+		case n.Unreachable:
+			status = paint(color, ansiRed, "unreachable")
+		case !n.Up:
+			status = paint(color, ansiYellow, fmt.Sprintf("flaky(%d)", int(n.Failures)))
+		}
+		fmt.Fprintf(w, "%-10s %-12s %9d %9.1f %7d %7.1f %8.2f %8.1f %6.2f\n",
+			n.Name, status, int64(n.CommitSeq), n.CommitRate, int64(n.SlotLag),
+			n.ViewChangeRate, n.LinkFaultRate, n.VerifyQueueAvg, n.Suspicion)
+	}
+
+	fmt.Fprintln(w)
+	if len(firing) == 0 {
+		fmt.Fprintln(w, paint(color, ansiGreen, "no alerts firing"))
+		return
+	}
+	fmt.Fprintln(w, paint(color, ansiBold, "FIRING ALERTS"))
+	sorted := append([]Alert(nil), firing...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Rule != sorted[j].Rule {
+			return sorted[i].Rule < sorted[j].Rule
+		}
+		return sorted[i].Scope < sorted[j].Scope
+	})
+	for _, a := range sorted {
+		code := ansiYellow
+		if a.Severity == "critical" {
+			code = ansiRed
+		}
+		line := fmt.Sprintf("  %-20s %-10s value=%-8g since=%s", a.Rule, a.Scope, a.Value, a.Since.Format(time.TimeOnly))
+		fmt.Fprintln(w, paint(color, code, line))
+		if a.Help != "" {
+			fmt.Fprintln(w, paint(color, ansiDim, "      "+a.Help))
+		}
+	}
+}
+
+// fmtMicros renders a microsecond quantity with a readable unit.
+func fmtMicros(us float64) string {
+	switch {
+	case us <= 0:
+		return "-"
+	case us < 1000:
+		return fmt.Sprintf("%.0fµs", us)
+	case us < 1e6:
+		return fmt.Sprintf("%.1fms", us/1000)
+	default:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	}
+}
+
+// RenderAlertLog writes the transition log, one line per event — the
+// plain append-only view for files and CI output.
+func RenderAlertLog(w io.Writer, alerts []Alert) {
+	for _, a := range alerts {
+		fmt.Fprintf(w, "%s %s\n", a.At.Format(time.RFC3339), a.String())
+	}
+}
+
+// WatchFrame composes one -watch refresh: clear screen, dashboard.
+func WatchFrame(sig *ClusterSignals, firing []Alert) string {
+	var b strings.Builder
+	b.WriteString(ansiClear)
+	RenderDashboard(&b, sig, firing, true)
+	return b.String()
+}

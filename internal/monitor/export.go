@@ -1,0 +1,188 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Aggregated cluster re-export: bftmon serves one /metrics endpoint
+// carrying (a) its own derived signal gauges under the bftmon_ prefix
+// and (b) every scraped family from every node, re-labelled with
+// instance=<target>, so one Prometheus scrape covers the whole
+// cluster — federation without a Prometheus server.
+
+// WriteClusterProm renders the aggregated exposition. Caller holds no
+// lock; the monitor's mutex is taken here.
+func (m *Monitor) WriteClusterProm(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sig := m.last
+	if sig == nil {
+		sig = &ClusterSignals{}
+	}
+
+	// Derived signal gauges first.
+	type gaugeRow struct{ labels, val string }
+	gauges := []struct {
+		name, help string
+		rows       []gaugeRow
+	}{
+		{"bftmon_up", "1 when the last scrape of this target succeeded.", nil},
+		{"bftmon_node_commit_seq", "Highest committed slot reported by this target.", nil},
+		{"bftmon_node_commit_rate", "Committed slots per second over the monitor window.", nil},
+		{"bftmon_node_slot_lag", "Slots behind the cluster high-water mark.", nil},
+		{"bftmon_node_view_change_rate", "View-change messages per second over the monitor window.", nil},
+		{"bftmon_node_link_fault_rate", "Transport dial failures, drops and reconnects per second.", nil},
+		{"bftmon_cluster_commit_rate", "Cluster slot throughput (high-water mark advance) per second.", nil},
+		{"bftmon_cluster_latency_p50_microseconds", "Windowed cluster slot-latency median.", nil},
+		{"bftmon_cluster_latency_p99_microseconds", "Windowed cluster slot-latency 99th percentile.", nil},
+		{"bftmon_cluster_progress_stall", "1 when client demand flows but no slot commits.", nil},
+		{"bftmon_cluster_forensics_proofs", "Misbehavior proofs held by any node's auditor.", nil},
+		{"bftmon_alert_firing", "1 per currently-firing alert, labelled by rule and scope.", nil},
+	}
+	for _, n := range sig.Nodes {
+		up := 0
+		if n.Up {
+			up = 1
+		}
+		lbl := fmt.Sprintf("{instance=%q}", n.Name)
+		gauges[0].rows = append(gauges[0].rows, gaugeRow{lbl, fmt.Sprintf("%d", up)})
+		gauges[1].rows = append(gauges[1].rows, gaugeRow{lbl, fmt.Sprintf("%d", int64(n.CommitSeq))})
+		gauges[2].rows = append(gauges[2].rows, gaugeRow{lbl, fmt.Sprintf("%g", n.CommitRate)})
+		gauges[3].rows = append(gauges[3].rows, gaugeRow{lbl, fmt.Sprintf("%d", int64(n.SlotLag))})
+		gauges[4].rows = append(gauges[4].rows, gaugeRow{lbl, fmt.Sprintf("%g", n.ViewChangeRate)})
+		gauges[5].rows = append(gauges[5].rows, gaugeRow{lbl, fmt.Sprintf("%g", n.LinkFaultRate)})
+	}
+	gauges[6].rows = []gaugeRow{{"", fmt.Sprintf("%g", sig.ClusterCommitRate)}}
+	gauges[7].rows = []gaugeRow{{"", fmt.Sprintf("%g", sig.LatencyP50us)}}
+	gauges[8].rows = []gaugeRow{{"", fmt.Sprintf("%g", sig.LatencyP99us)}}
+	gauges[9].rows = []gaugeRow{{"", fmt.Sprintf("%g", sig.ProgressStall)}}
+	gauges[10].rows = []gaugeRow{{"", fmt.Sprintf("%g", sig.ForensicsProofs)}}
+	for _, a := range m.engine.Firing() {
+		gauges[11].rows = append(gauges[11].rows,
+			gaugeRow{fmt.Sprintf("{rule=%q,scope=%q}", a.Rule, a.Scope), "1"})
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name); err != nil {
+			return err
+		}
+		for _, r := range g.rows {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", g.name, r.labels, r.val); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Raw re-export: the latest value of every stored series from every
+	// node, instance-labelled. Families render contiguously (required by
+	// the text format) and deterministically; TYPE is reconstructed from
+	// the name shape the bftkit exporter uses.
+	type series struct{ key, instance string }
+	byFamily := make(map[string][]series)
+	for _, ns := range m.nodes {
+		for _, k := range ns.Store.Keys() {
+			if strings.HasPrefix(k, "healthz:") {
+				continue
+			}
+			fam := exportFamily(keyFamily(k))
+			byFamily[fam] = append(byFamily[fam], series{key: k, instance: ns.Target.Name})
+		}
+	}
+	fams := make([]string, 0, len(byFamily))
+	for f := range byFamily {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		typ := "untyped"
+		switch {
+		case strings.HasSuffix(fam, "_total"):
+			typ = "counter"
+		case fam == "bftkit_build_info" || fam == "bftkit_node_start_time_seconds" || fam == "bftkit_forensics_suspicion":
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s Re-exported from the per-node scrape.\n# TYPE %s %s\n", fam, fam, typ); err != nil {
+			return err
+		}
+		rows := byFamily[fam]
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].instance != rows[j].instance {
+				return rows[i].instance < rows[j].instance
+			}
+			return rows[i].key < rows[j].key
+		})
+		for _, r := range rows {
+			ns := m.nodeByName(r.instance)
+			if ns == nil {
+				continue
+			}
+			labels := exportLabels(r.key, r.instance)
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", keyFamily(r.key), labels, ns.Store.LastValue(r.key, 0)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportFamily maps a sample name to its family for re-export grouping:
+// histogram _bucket/_sum/_count samples group under the bucket name so
+// each instance's ladder renders contiguously.
+func exportFamily(name string) string { return name }
+
+// exportLabels rebuilds a label set string from a series key, adding
+// the instance label.
+func exportLabels(key, instance string) string {
+	parts := strings.Split(key, "|")
+	labels := []string{fmt.Sprintf("instance=%q", instance)}
+	for _, seg := range parts[1:] {
+		if k, v, ok := strings.Cut(seg, "="); ok {
+			labels = append(labels, fmt.Sprintf("%s=%q", k, v))
+		}
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+func (m *Monitor) nodeByName(name string) *NodeState {
+	for _, ns := range m.nodes {
+		if ns.Target.Name == name {
+			return ns
+		}
+	}
+	return nil
+}
+
+// Handler serves bftmon's own ops surface: the aggregated /metrics,
+// /api/signals (latest snapshot, JSON), /api/alerts (transition log,
+// JSON), and a plain-text dashboard at /.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteClusterProm(w)
+	})
+	mux.HandleFunc("/api/signals", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m.Signals())
+	})
+	mux.HandleFunc("/api/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Firing []Alert `json:"firing"`
+			Log    []Alert `json:"log"`
+		}{m.Firing(), m.Alerts()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderDashboard(w, m.Signals(), m.Firing(), false)
+	})
+	return mux
+}

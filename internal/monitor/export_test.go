@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bftkit/internal/obsv"
+	"bftkit/internal/types"
+)
+
+func TestClusterPromReexportParses(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, 0, 2), newFakeNode(t, 1, 2)}
+	m := newTestMonitor(t, 2, nodes...)
+	for tick := 0; tick < 4; tick++ {
+		for _, fn := range nodes {
+			fn.commitSlots(3)
+		}
+		m.Tick(ts(tick))
+	}
+
+	var b strings.Builder
+	if err := m.WriteClusterProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The aggregated document must itself survive the strict parser —
+	// bftmon's re-export is a scrape target too.
+	fams, err := obsv.ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-export does not parse: %v\n%s", err, out)
+	}
+	byName := make(map[string]*obsv.PromFamily)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	up := byName["bftmon_up"]
+	if up == nil || len(up.Samples) != 2 {
+		t.Fatalf("bftmon_up = %+v", up)
+	}
+	for _, s := range up.Samples {
+		if s.Value != 1 {
+			t.Fatalf("bftmon_up sample = %+v, want 1", s)
+		}
+	}
+	// Raw series come back instance-labelled so per-node identity
+	// survives aggregation.
+	sent := byName["bftkit_phase_msgs_sent_total"]
+	if sent == nil {
+		t.Fatal("re-export lost the phase counter family")
+	}
+	seen := map[string]bool{}
+	for _, s := range sent.Samples {
+		seen[s.Labels["instance"]] = true
+	}
+	if !seen["r0"] || !seen["r1"] {
+		t.Fatalf("instances = %v, want r0 and r1", seen)
+	}
+}
+
+func TestMonitorHandlerEndpoints(t *testing.T) {
+	fn := newFakeNode(t, types.NodeID(0), 1)
+	m := newTestMonitor(t, 2, fn)
+	fn.commitSlots(2)
+	m.Tick(ts(0))
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, perr := obsv.ParseProm(resp.Body)
+	resp.Body.Close()
+	if perr != nil {
+		t.Fatalf("/metrics does not parse: %v", perr)
+	}
+	if len(fams) == 0 {
+		t.Fatal("/metrics empty")
+	}
+
+	resp, err = http.Get(srv.URL + "/api/signals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig ClusterSignals
+	if err := json.NewDecoder(resp.Body).Decode(&sig); err != nil {
+		t.Fatalf("/api/signals not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if sig.Total != 1 || len(sig.Nodes) != 1 || sig.Nodes[0].Name != "r0" {
+		t.Fatalf("signals = %+v", sig)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts struct {
+		Firing []Alert `json:"firing"`
+		Log    []Alert `json:"log"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatalf("/api/alerts not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if len(alerts.Firing) != 0 {
+		t.Fatalf("clean cluster firing = %+v", alerts.Firing)
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(raw)
+	resp.Body.Close()
+	if !strings.Contains(string(raw[:n]), "bftmon cluster view") {
+		t.Fatalf("dashboard page = %q", string(raw[:n]))
+	}
+}

@@ -1,0 +1,234 @@
+package monitor
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Config shapes a Monitor. Zero values pick the defaults noted inline.
+type Config struct {
+	Targets  []Target
+	Interval time.Duration // scrape period (default 1s)
+	// Window is the lookback, in scrapes, for every rate and delta
+	// derivation (default 8). Larger smooths noise; smaller detects
+	// faster.
+	Window int
+	// History bounds each ring-buffer series, in points (default 256).
+	History int
+	// ScrapeTimeout bounds each HTTP fetch (default min(Interval, 2s)).
+	ScrapeTimeout time.Duration
+	// Rules is the alert rule set (default DefaultRules()).
+	Rules []Rule
+	// OnAlert, when set, receives every firing/resolved transition as it
+	// is detected.
+	OnAlert func(Alert)
+}
+
+// NodeState is everything the monitor knows about one target.
+type NodeState struct {
+	Target Target
+	Store  *Store
+
+	// Health and Report are the latest successful scrape's payloads;
+	// LastOK dates them. ConsecutiveFailures counts scrapes since, so
+	// staleness is measured in intervals, not wall time: a node whose
+	// scrape age exceeds two intervals is flagged unreachable rather
+	// than silently represented by stale samples.
+	Health              *healthSnapshot
+	Report              *reportSnapshot
+	LastOK              time.Time
+	ConsecutiveFailures int
+	TotalScrapes        int
+	TotalFailures       int
+	LastErr             error
+}
+
+// Monitor owns the scrape loop, the per-target stores, the signal
+// computation and the alert engine. All exported accessors are safe to
+// call while the loop runs.
+type Monitor struct {
+	cfg     Config
+	scraper *Scraper
+	engine  *Engine
+
+	mu      sync.Mutex
+	nodes   []*NodeState
+	cluster *Store // synthetic cluster-level series (max commit seq, ...)
+	last    *ClusterSignals
+	alerts  []Alert // full transition log, firing and resolved
+	ticks   int
+}
+
+func New(cfg Config) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.History <= 0 {
+		cfg.History = 256
+	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = 2 * time.Second
+		if cfg.Interval < cfg.ScrapeTimeout {
+			cfg.ScrapeTimeout = cfg.Interval
+		}
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = DefaultRules()
+	}
+	m := &Monitor{
+		cfg:     cfg,
+		scraper: NewScraper(cfg.ScrapeTimeout),
+		engine:  NewEngine(cfg.Rules),
+		cluster: NewStore(cfg.History),
+	}
+	for _, t := range cfg.Targets {
+		m.nodes = append(m.nodes, &NodeState{Target: t, Store: NewStore(cfg.History)})
+	}
+	return m
+}
+
+// Run scrapes every Interval until ctx is done. The first scrape fires
+// immediately.
+func (m *Monitor) Run(ctx context.Context) {
+	tick := time.NewTicker(m.cfg.Interval)
+	defer tick.Stop()
+	for {
+		m.Tick(time.Now())
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Tick performs one scrape round — every target in parallel — then
+// recomputes signals and evaluates the alert rules. It returns the
+// transitions this round produced. Tests drive Tick directly to get a
+// deterministic scrape count.
+func (m *Monitor) Tick(now time.Time) []Alert {
+	samples := make([]Sample, len(m.nodes))
+	var wg sync.WaitGroup
+	for i := range m.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples[i] = m.scraper.Scrape(m.nodes[i].Target, now)
+		}(i)
+	}
+	wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ticks++
+	for i, ns := range m.nodes {
+		m.ingest(ns, samples[i])
+	}
+	sig := m.computeSignals(now)
+	m.last = sig
+	trans := m.engine.Eval(now, sig.Values())
+	m.alerts = append(m.alerts, trans...)
+	if m.cfg.OnAlert != nil {
+		for _, a := range trans {
+			m.cfg.OnAlert(a)
+		}
+	}
+	return trans
+}
+
+// ingest folds one sample into a node's state: every Prometheus sample
+// becomes a ring-buffer point keyed by its series identity, and the
+// healthz progress marker becomes the synthetic series the progress
+// and straggler signals divide on.
+func (m *Monitor) ingest(ns *NodeState, smp Sample) {
+	ns.TotalScrapes++
+	if smp.Err != nil {
+		ns.TotalFailures++
+		ns.ConsecutiveFailures++
+		ns.LastErr = smp.Err
+		return
+	}
+	ns.ConsecutiveFailures = 0
+	ns.LastErr = nil
+	ns.LastOK = smp.At
+	for _, f := range smp.Families {
+		for _, s := range f.Samples {
+			ns.Store.Observe(s.SeriesKey(), Point{At: smp.At, V: s.Value})
+		}
+	}
+	if smp.Health != nil {
+		h := healthSnapshot{
+			Protocol:      smp.Health.Protocol,
+			Node:          smp.Health.Node,
+			N:             smp.Health.N,
+			F:             smp.Health.F,
+			LastCommitSeq: smp.Health.LastCommitSeq,
+			Uptime:        smp.Health.UptimeSeconds,
+		}
+		ns.Health = &h
+		ns.Store.Observe("healthz:last_commit_seq", Point{At: smp.At, V: float64(h.LastCommitSeq)})
+		ns.Store.Observe("healthz:uptime_seconds", Point{At: smp.At, V: h.Uptime})
+	}
+	if smp.Report != nil {
+		rs := reportSnapshot{Proofs: len(smp.Report.Proofs)}
+		for _, p := range smp.Report.Proofs {
+			rs.Kinds = append(rs.Kinds, p.Proof)
+		}
+		for _, sc := range smp.Report.Scores {
+			if sc.Suspicion > rs.MaxSuspicion {
+				rs.MaxSuspicion = sc.Suspicion
+			}
+		}
+		ns.Report = &rs
+	}
+}
+
+// healthSnapshot is the monitor-side digest of one /healthz payload.
+type healthSnapshot struct {
+	Protocol      string
+	Node          int
+	N, F          int
+	LastCommitSeq uint64
+	Uptime        float64
+}
+
+// reportSnapshot is the monitor-side digest of one /forensics verdict.
+type reportSnapshot struct {
+	Proofs       int
+	Kinds        []string
+	MaxSuspicion float64
+}
+
+// Signals returns the most recent per-tick signal snapshot (nil before
+// the first Tick).
+func (m *Monitor) Signals() *ClusterSignals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last
+}
+
+// Alerts returns the full transition log: every firing and resolved
+// event since the monitor started.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
+
+// Firing returns the alerts currently in the firing state.
+func (m *Monitor) Firing() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.engine.Firing()
+}
+
+// Ticks returns how many scrape rounds have completed.
+func (m *Monitor) Ticks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}

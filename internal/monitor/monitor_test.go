@@ -1,0 +1,339 @@
+package monitor
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bftkit/internal/forensics"
+	"bftkit/internal/obsv"
+	"bftkit/internal/ops"
+	"bftkit/internal/types"
+)
+
+// fakeNode is one synthetic scrape target: a real ops.Mux over a real
+// tracer, driven by the test. The monitor sees exactly what it would
+// see scraping a live replica.
+type fakeNode struct {
+	id     types.NodeID
+	tracer *obsv.Tracer
+	seq    atomic.Uint64
+	report atomic.Pointer[forensics.Report]
+	srv    *httptest.Server
+}
+
+func newFakeNode(t *testing.T, id types.NodeID, n int) *fakeNode {
+	t.Helper()
+	fn := &fakeNode{id: id}
+	fn.tracer = obsv.New(obsv.Options{Label: "fake"})
+	fn.tracer.SetNodeInfo(obsv.NodeInfo{Node: id, Protocol: "pbft", N: n, F: 1,
+		Start: time.Unix(1700000000, 0)})
+	health := func() ops.Health {
+		return ops.Health{Protocol: "pbft", Node: int(id), N: n, F: 1,
+			LastCommitSeq: fn.seq.Load()}
+	}
+	report := func() *forensics.Report { return fn.report.Load() }
+	fn.srv = httptest.NewServer(ops.Mux(health, time.Unix(1700000000, 0), fn.tracer, report))
+	t.Cleanup(fn.srv.Close)
+	return fn
+}
+
+func (fn *fakeNode) target() Target {
+	return Target{Name: fn.id.String(), BaseURL: fn.srv.URL}
+}
+
+type testMsg struct {
+	kind string
+	seq  types.SeqNum
+}
+
+func (m testMsg) Kind() string                     { return m.kind }
+func (m testMsg) Slot() (types.View, types.SeqNum) { return 0, m.seq }
+
+// commitSlots advances the node: client demand arrives, ordering
+// traffic flows, and slots commit — the steady-state heartbeat of a
+// healthy replica.
+func (fn *fakeNode) commitSlots(k int) {
+	for i := 0; i < k; i++ {
+		seq := types.SeqNum(fn.seq.Load() + 1)
+		d := time.Duration(seq) * time.Millisecond
+		fn.tracer.MsgDelivered(d, types.NodeID(types.ClientIDBase), fn.id, testMsg{kind: "REQUEST"}, 64)
+		fn.tracer.MsgSent(d, fn.id, fn.id+1, testMsg{kind: "PREPARE", seq: seq}, 128)
+		fn.tracer.Commit(d+2*time.Millisecond, fn.id, 0, seq)
+		fn.seq.Add(1)
+	}
+}
+
+// demandOnly delivers client requests without committing anything —
+// the stall shape.
+func (fn *fakeNode) demandOnly(k int) {
+	for i := 0; i < k; i++ {
+		fn.tracer.MsgDelivered(time.Second, types.NodeID(types.ClientIDBase), fn.id, testMsg{kind: "REQUEST"}, 64)
+	}
+}
+
+func (fn *fakeNode) viewChangeBurst(k int) {
+	for i := 0; i < k; i++ {
+		fn.tracer.MsgSent(time.Second, fn.id, fn.id+1, testMsg{kind: "VIEW-CHANGE", seq: 1}, 256)
+	}
+}
+
+func newTestMonitor(t *testing.T, window int, nodes ...*fakeNode) *Monitor {
+	t.Helper()
+	targets := make([]Target, len(nodes))
+	for i, fn := range nodes {
+		targets[i] = fn.target()
+	}
+	return New(Config{Targets: targets, Interval: time.Second, Window: window})
+}
+
+func TestMonitorCleanClusterIsQuiet(t *testing.T) {
+	var nodes []*fakeNode
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, newFakeNode(t, types.NodeID(i), 3))
+	}
+	m := newTestMonitor(t, 4, nodes...)
+	for tick := 0; tick < 10; tick++ {
+		for _, fn := range nodes {
+			fn.commitSlots(5)
+		}
+		if trans := m.Tick(ts(tick)); len(trans) != 0 {
+			t.Fatalf("tick %d: clean cluster produced transitions: %+v", tick, trans)
+		}
+	}
+	sig := m.Signals()
+	if sig == nil || sig.Reachable != 3 || sig.Total != 3 {
+		t.Fatalf("signals = %+v", sig)
+	}
+	if sig.ClusterCommitRate < 4 || sig.ClusterCommitRate > 6 {
+		t.Fatalf("cluster commit rate = %g, want ~5 slots/s", sig.ClusterCommitRate)
+	}
+	if sig.ClusterCommitSeq != 50 {
+		t.Fatalf("cluster commit seq = %g, want 50", sig.ClusterCommitSeq)
+	}
+	// Slot latency flowed through the bucket deltas: every commit took
+	// 2ms, so both quantiles land in the 2047..4095µs power-of-two bucket.
+	if sig.LatencyP50us < 2000 || sig.LatencyP50us > 4095 {
+		t.Fatalf("p50 = %gµs, want within the 2ms bucket", sig.LatencyP50us)
+	}
+	if len(m.Firing()) != 0 {
+		t.Fatalf("firing = %+v", m.Firing())
+	}
+}
+
+func TestMonitorFlagsUnreachableNode(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, 0, 2), newFakeNode(t, 1, 2)}
+	m := newTestMonitor(t, 4, nodes...)
+	for tick := 0; tick < 3; tick++ {
+		for _, fn := range nodes {
+			fn.commitSlots(2)
+		}
+		m.Tick(ts(tick))
+	}
+	nodes[1].srv.Close() // node r1 dies
+
+	var fired *Alert
+	for tick := 3; tick < 8 && fired == nil; tick++ {
+		nodes[0].commitSlots(2)
+		for _, a := range m.Tick(ts(tick)) {
+			if a.Rule == "node_unreachable" && a.State == "firing" {
+				fired = &a
+				// Staleness gate: one missed scrape is tolerated, two is
+				// unreachable — so the alert lands on the second failed tick.
+				if !a.At.Equal(ts(4)) {
+					t.Fatalf("fired at %v, want tick 4 (scrape age > 2 intervals)", a.At)
+				}
+			}
+		}
+	}
+	if fired == nil {
+		t.Fatal("node_unreachable never fired")
+	}
+	if fired.Scope != "r1" {
+		t.Fatalf("fired for %q, want r1", fired.Scope)
+	}
+	sig := m.Signals()
+	for _, n := range sig.Nodes {
+		if n.Name == "r1" && !n.Unreachable {
+			t.Fatalf("r1 signals = %+v, want unreachable", n)
+		}
+		if n.Name == "r0" && (!n.Up || n.Unreachable) {
+			t.Fatalf("r0 signals = %+v, want up", n)
+		}
+	}
+}
+
+func TestMonitorDetectsProgressStall(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, 0, 2), newFakeNode(t, 1, 2)}
+	m := New(Config{Targets: []Target{nodes[0].target(), nodes[1].target()},
+		Interval: time.Second, Window: 2})
+	for tick := 0; tick < 4; tick++ {
+		for _, fn := range nodes {
+			fn.commitSlots(3)
+		}
+		m.Tick(ts(tick))
+	}
+	// Demand keeps flowing but nothing commits: the stall composite must
+	// go high and, after the rule's For gate, fire.
+	var fired bool
+	for tick := 4; tick < 12 && !fired; tick++ {
+		for _, fn := range nodes {
+			fn.demandOnly(3)
+		}
+		for _, a := range m.Tick(ts(tick)) {
+			if a.Rule == "progress_stall" && a.State == "firing" {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		t.Fatalf("progress_stall never fired; signals = %+v", m.Signals())
+	}
+	// And an idle cluster (no demand, no commits) is NOT a stall.
+	m2 := New(Config{Targets: []Target{nodes[0].target(), nodes[1].target()},
+		Interval: time.Second, Window: 2})
+	for tick := 0; tick < 8; tick++ {
+		if trans := m2.Tick(ts(tick)); len(trans) != 0 {
+			t.Fatalf("idle cluster produced transitions: %+v", trans)
+		}
+	}
+	if sig := m2.Signals(); sig.ProgressStall != 0 {
+		t.Fatalf("idle cluster stall = %g, want 0", sig.ProgressStall)
+	}
+}
+
+func TestMonitorDetectsViewChangeStorm(t *testing.T) {
+	fn := newFakeNode(t, 0, 1)
+	m := newTestMonitor(t, 2, fn)
+	fn.commitSlots(3)
+	m.Tick(ts(0))
+	var fired bool
+	for tick := 1; tick < 6 && !fired; tick++ {
+		fn.commitSlots(1)
+		fn.viewChangeBurst(20) // 20 VC msgs/s >> the 8/s threshold
+		for _, a := range m.Tick(ts(tick)) {
+			if a.Rule == "view_change_storm" && a.State == "firing" {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		t.Fatalf("view_change_storm never fired; signals = %+v", m.Signals())
+	}
+	// Storm subsides below ClearBelow: the alert must resolve.
+	var resolved bool
+	for tick := 6; tick < 14 && !resolved; tick++ {
+		fn.commitSlots(1)
+		for _, a := range m.Tick(ts(tick)) {
+			if a.Rule == "view_change_storm" && a.State == "resolved" {
+				resolved = true
+			}
+		}
+	}
+	if !resolved {
+		t.Fatal("view_change_storm never resolved after the storm subsided")
+	}
+}
+
+func TestMonitorDetectsStraggler(t *testing.T) {
+	nodes := []*fakeNode{newFakeNode(t, 0, 2), newFakeNode(t, 1, 2)}
+	m := newTestMonitor(t, 2, nodes...)
+	var fired *Alert
+	for tick := 0; tick < 10 && fired == nil; tick++ {
+		nodes[0].commitSlots(5)
+		nodes[1].commitSlots(1) // trails 4 slots/tick
+		for _, a := range m.Tick(ts(tick)) {
+			if a.Rule == "replica_straggler" && a.State == "firing" {
+				fired = &a
+			}
+		}
+	}
+	if fired == nil {
+		t.Fatalf("replica_straggler never fired; signals = %+v", m.Signals())
+	}
+	if fired.Scope != "r1" {
+		t.Fatalf("straggler scope = %q, want r1", fired.Scope)
+	}
+}
+
+func TestMonitorSurfacesForensicsProof(t *testing.T) {
+	fn := newFakeNode(t, 0, 4)
+	m := newTestMonitor(t, 4, fn)
+	fn.commitSlots(2)
+	if trans := m.Tick(ts(0)); len(trans) != 0 {
+		t.Fatalf("clean tick produced %+v", trans)
+	}
+	fn.report.Store(&forensics.Report{N: 4, F: 1,
+		Proofs: []*forensics.Proof{{Proof: forensics.ProofDivergentResult, Culprit: 3}},
+		Scores: []forensics.Score{{Node: 3, Suspicion: 0.9, Accused: true}}})
+	fn.commitSlots(2)
+	trans := m.Tick(ts(1))
+	var fired bool
+	for _, a := range trans {
+		if a.Rule == "byzantine_proof" && a.State == "firing" && a.Scope == "cluster" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("byzantine_proof did not fire on the first proof-bearing scrape: %+v", trans)
+	}
+	sig := m.Signals()
+	if sig.ForensicsProofs != 1 || sig.MaxSuspicion < 0.9 {
+		t.Fatalf("signals = proofs %g suspicion %g", sig.ForensicsProofs, sig.MaxSuspicion)
+	}
+}
+
+func TestMonitorRunLoopAndOnAlert(t *testing.T) {
+	fn := newFakeNode(t, 0, 1)
+	got := make(chan Alert, 16)
+	m := New(Config{Targets: []Target{fn.target()}, Interval: 10 * time.Millisecond,
+		Window: 2, OnAlert: func(a Alert) { got <- a }})
+	fn.srv.Close() // dead from the start: unreachable must fire via Run
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { m.Run(ctx); close(done) }()
+	select {
+	case a := <-got:
+		if a.Rule != "node_unreachable" {
+			t.Fatalf("first alert = %+v", a)
+		}
+	case <-done:
+		t.Fatal("Run exited before alerting")
+	}
+	cancel()
+	<-done
+	if m.Ticks() < 1 {
+		t.Fatalf("ticks = %d, want >= 1", m.Ticks())
+	}
+}
+
+func TestDashboardRendersSignalsAndAlerts(t *testing.T) {
+	fn := newFakeNode(t, 0, 1)
+	m := newTestMonitor(t, 2, fn)
+	fn.commitSlots(3)
+	m.Tick(ts(0))
+	fn.srv.Close()
+	m.Tick(ts(1))
+	m.Tick(ts(2)) // second failure: unreachable fires
+
+	var b strings.Builder
+	RenderDashboard(&b, m.Signals(), m.Firing(), false)
+	out := b.String()
+	for _, want := range []string{"bftmon cluster view", "r0", "unreachable", "node_unreachable"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	var log strings.Builder
+	RenderAlertLog(&log, m.Alerts())
+	if !strings.Contains(log.String(), "node_unreachable firing") {
+		t.Fatalf("alert log missing transition:\n%s", log.String())
+	}
+	if frame := WatchFrame(m.Signals(), m.Firing()); !strings.Contains(frame, ansiClear) {
+		t.Fatal("watch frame must clear the screen")
+	}
+}

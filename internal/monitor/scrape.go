@@ -1,0 +1,117 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bftkit/internal/forensics"
+	"bftkit/internal/obsv"
+	"bftkit/internal/ops"
+)
+
+// Target is one node's ops surface: BaseURL is the host:port (or full
+// http URL) that serves /metrics, /healthz and /forensics.
+type Target struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+// Sample is one scrape of one target. A failed scrape carries only Err;
+// a successful one always has Families and Health, and Forensics when
+// the node has the auditor attached (404 is not an error — forensics is
+// opt-in per node).
+type Sample struct {
+	At       time.Time
+	Families []*obsv.PromFamily
+	Health   *ops.Health
+	Report   *forensics.Report
+	Err      error
+}
+
+// Scraper pulls one target's surface over HTTP with a bounded timeout,
+// so one hung node cannot stall the whole scrape round.
+type Scraper struct {
+	Client *http.Client
+}
+
+func NewScraper(timeout time.Duration) *Scraper {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Scraper{Client: &http.Client{Timeout: timeout}}
+}
+
+func (s *Scraper) url(t Target, path string) string {
+	base := t.BaseURL
+	if len(base) < 7 || (base[:7] != "http://" && (len(base) < 8 || base[:8] != "https://")) {
+		base = "http://" + base
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return base + path
+}
+
+// Scrape pulls /metrics, /healthz and /forensics from one target. Any
+// failure of the two mandatory endpoints fails the whole sample: a node
+// that serves half its surface is not healthy, and partial samples
+// would poison the rate derivations.
+func (s *Scraper) Scrape(t Target, now time.Time) Sample {
+	smp := Sample{At: now}
+
+	resp, err := s.Client.Get(s.url(t, "/metrics"))
+	if err != nil {
+		smp.Err = fmt.Errorf("metrics: %w", err)
+		return smp
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		smp.Err = fmt.Errorf("metrics: %s", resp.Status)
+		return smp
+	}
+	fams, err := obsv.ParseProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		smp.Err = fmt.Errorf("metrics: %w", err)
+		return smp
+	}
+	smp.Families = fams
+
+	resp, err = s.Client.Get(s.url(t, "/healthz"))
+	if err != nil {
+		smp.Err = fmt.Errorf("healthz: %w", err)
+		return smp
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		smp.Err = fmt.Errorf("healthz: %s", resp.Status)
+		return smp
+	}
+	var h ops.Health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		smp.Err = fmt.Errorf("healthz: %w", err)
+		return smp
+	}
+	smp.Health = &h
+
+	resp, err = s.Client.Get(s.url(t, "/forensics"))
+	if err == nil {
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var rep forensics.Report
+			if jerr := json.NewDecoder(resp.Body).Decode(&rep); jerr == nil {
+				smp.Report = &rep
+			}
+		case http.StatusNotFound:
+			// auditor not attached on this node — fine
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return smp
+}

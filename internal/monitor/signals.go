@@ -1,0 +1,265 @@
+package monitor
+
+import (
+	"sort"
+	"time"
+
+	"bftkit/internal/obsv"
+)
+
+// NodeSignals is the per-node health digest one tick computes.
+type NodeSignals struct {
+	Name string `json:"name"`
+	// Up means the last scrape succeeded; Unreachable means the scrape
+	// age exceeded two intervals (consecutive failures >= 2), the
+	// staleness line past which the monitor stops trusting its cache.
+	Up          bool    `json:"up"`
+	Unreachable bool    `json:"unreachable"`
+	Failures    float64 `json:"consecutive_failures"`
+
+	CommitSeq      float64 `json:"commit_seq"`
+	CommitRate     float64 `json:"commit_rate"`      // slots/s over the window
+	SlotLag        float64 `json:"slot_lag"`         // max reachable seq − this seq
+	ViewChangeRate float64 `json:"view_change_rate"` // view-change msgs sent /s
+	LinkFaultRate  float64 `json:"link_fault_rate"`  // dial_fail+conn_drop+reconnect /s
+	VerifyQueueAvg float64 `json:"verify_queue_avg"` // windowed mean verify-lane backlog
+	ClientDemand   float64 `json:"client_demand"`    // client msgs delivered over the window
+	Suspicion      float64 `json:"suspicion"`        // max forensics suspicion this node reports
+	Proofs         float64 `json:"proofs"`           // misbehavior proofs this node's auditor holds
+}
+
+// ClusterSignals is one tick's cluster-wide digest: per-node rows plus
+// the aggregates the cross-node alert rules fire on.
+type ClusterSignals struct {
+	At        time.Time     `json:"at"`
+	Nodes     []NodeSignals `json:"nodes"`
+	Reachable int           `json:"reachable"`
+	Total     int           `json:"total"`
+
+	ClusterCommitSeq  float64 `json:"cluster_commit_seq"`  // max reachable commit seq
+	ClusterCommitRate float64 `json:"cluster_commit_rate"` // slots/s, cluster high-water mark
+	LatencyP50us      float64 `json:"latency_p50_us"`      // windowed slot-latency quantiles,
+	LatencyP99us      float64 `json:"latency_p99_us"`      // reconstructed from bucket deltas
+	ProgressStall     float64 `json:"progress_stall"`      // 1 when demand flows but no slot commits
+	PartitionNodes    float64 `json:"partition_nodes"`     // nodes with active link faults
+	ForensicsProofs   float64 `json:"forensics_proofs"`    // max proofs any auditor holds
+	MaxSuspicion      float64 `json:"max_suspicion"`
+}
+
+// Signal names the alert rules reference. Per-node signals evaluate
+// once per node (scope = target name); cluster signals once (scope
+// "cluster").
+const (
+	SigNodeDown       = "node_down"
+	SigCommitRate     = "commit_rate"
+	SigSlotLag        = "slot_lag"
+	SigViewChangeRate = "view_change_rate"
+	SigLinkFaultRate  = "link_fault_rate"
+	SigVerifyQueueAvg = "verify_queue_avg"
+	SigProgressStall  = "progress_stall"
+	SigPartitionNodes = "partition_nodes"
+	SigForensicsProof = "forensics_proofs"
+	SigMaxSuspicion   = "max_suspicion"
+)
+
+// Values flattens the snapshot into signal → scope → value, the shape
+// the alert engine evaluates.
+func (cs *ClusterSignals) Values() map[string]map[string]float64 {
+	v := map[string]map[string]float64{
+		SigNodeDown:       {},
+		SigCommitRate:     {},
+		SigSlotLag:        {},
+		SigViewChangeRate: {},
+		SigLinkFaultRate:  {},
+		SigVerifyQueueAvg: {},
+		SigProgressStall:  {"cluster": cs.ProgressStall},
+		SigPartitionNodes: {"cluster": cs.PartitionNodes},
+		SigForensicsProof: {"cluster": cs.ForensicsProofs},
+		SigMaxSuspicion:   {"cluster": cs.MaxSuspicion},
+	}
+	for _, n := range cs.Nodes {
+		down := 0.0
+		if n.Unreachable {
+			down = 1
+		}
+		v[SigNodeDown][n.Name] = down
+		v[SigCommitRate][n.Name] = n.CommitRate
+		v[SigSlotLag][n.Name] = n.SlotLag
+		v[SigViewChangeRate][n.Name] = n.ViewChangeRate
+		v[SigLinkFaultRate][n.Name] = n.LinkFaultRate
+		v[SigVerifyQueueAvg][n.Name] = n.VerifyQueueAvg
+	}
+	return v
+}
+
+// partitionLinkRate is the per-node link-fault rate above which a node
+// counts toward partition inference: sustained dial failures, drops or
+// reconnect churn on its transport matrix.
+const partitionLinkRate = 0.2
+
+// computeSignals derives the per-tick digest from the stores. Caller
+// holds m.mu.
+func (m *Monitor) computeSignals(now time.Time) *ClusterSignals {
+	W := m.cfg.Window
+	cs := &ClusterSignals{At: now, Total: len(m.nodes)}
+
+	// First pass: per-node series-derived signals and the cluster
+	// high-water commit mark over reachable nodes.
+	maxSeq := -1.0
+	for _, ns := range m.nodes {
+		sig := NodeSignals{
+			Name:        ns.Target.Name,
+			Up:          ns.ConsecutiveFailures == 0 && ns.TotalScrapes > ns.TotalFailures,
+			Unreachable: ns.ConsecutiveFailures >= 2 || ns.TotalScrapes == ns.TotalFailures,
+			Failures:    float64(ns.ConsecutiveFailures),
+		}
+		st := ns.Store
+		sig.CommitSeq = st.LastValue("healthz:last_commit_seq", 0)
+		if s := st.Get("healthz:last_commit_seq"); s != nil {
+			sig.CommitRate = s.Rate(W)
+		}
+		sig.ViewChangeRate = sumRate(st, W, func(k string) bool {
+			return keyFamily(k) == "bftkit_phase_msgs_sent_total" && keyHasLabel(k, "phase", obsv.PhaseViewChange)
+		})
+		sig.LinkFaultRate = sumRate(st, W, func(k string) bool {
+			if keyFamily(k) != "bftkit_transport_events_total" {
+				return false
+			}
+			return keyHasLabel(k, "event", "dial_fail") ||
+				keyHasLabel(k, "event", "conn_drop") ||
+				keyHasLabel(k, "event", "reconnect")
+		})
+		sig.ClientDemand = st.SumDelta(W, func(k string) bool {
+			return keyFamily(k) == "bftkit_phase_msgs_recv_total" && keyHasLabel(k, "phase", obsv.PhaseClient)
+		})
+		// Windowed mean verify-lane backlog: the depth histogram samples
+		// at each enqueue, so delta(sum)/delta(count) is the mean depth
+		// over just this window.
+		vq := st.SumDelta(W, func(k string) bool { return keyFamily(k) == "bftkit_verify_queue_depth_msgs_count" })
+		if vq > 0 {
+			sig.VerifyQueueAvg = st.SumDelta(W, func(k string) bool {
+				return keyFamily(k) == "bftkit_verify_queue_depth_msgs_sum"
+			}) / vq
+		}
+		for _, k := range st.Keys() {
+			if keyFamily(k) == "bftkit_forensics_suspicion" {
+				if v := st.LastValue(k, 0); v > sig.Suspicion {
+					sig.Suspicion = v
+				}
+			}
+		}
+		if ns.Report != nil {
+			sig.Proofs = float64(ns.Report.Proofs)
+			if ns.Report.MaxSuspicion > sig.Suspicion {
+				sig.Suspicion = ns.Report.MaxSuspicion
+			}
+		}
+		if !sig.Unreachable {
+			cs.Reachable++
+			if sig.CommitSeq > maxSeq {
+				maxSeq = sig.CommitSeq
+			}
+		}
+		cs.Nodes = append(cs.Nodes, sig)
+	}
+	sort.Slice(cs.Nodes, func(i, j int) bool { return cs.Nodes[i].Name < cs.Nodes[j].Name })
+
+	// Second pass: signals relative to the cluster high-water mark.
+	var demand float64
+	for i := range cs.Nodes {
+		n := &cs.Nodes[i]
+		if n.Unreachable {
+			continue
+		}
+		if lag := maxSeq - n.CommitSeq; lag > 0 {
+			n.SlotLag = lag
+		}
+		demand += n.ClientDemand
+		if n.LinkFaultRate >= partitionLinkRate {
+			cs.PartitionNodes++
+		}
+		if n.CommitRate > cs.ClusterCommitRate {
+			cs.ClusterCommitRate = n.CommitRate
+		}
+		if n.Proofs > cs.ForensicsProofs {
+			cs.ForensicsProofs = n.Proofs
+		}
+		if n.Suspicion > cs.MaxSuspicion {
+			cs.MaxSuspicion = n.Suspicion
+		}
+	}
+	if maxSeq > 0 {
+		cs.ClusterCommitSeq = maxSeq
+	}
+
+	// Cluster progress: track the high-water mark as its own series so
+	// the stall signal sees "no slot committed anywhere" even while
+	// individual nodes churn. Stall requires demand — clients delivering
+	// requests — so an idle cluster is quiet, not stalled.
+	if maxSeq >= 0 {
+		m.cluster.Observe("cluster:max_commit_seq", Point{At: now, V: maxSeq})
+	}
+	if s := m.cluster.Get("cluster:max_commit_seq"); s != nil && s.Len() >= 2 {
+		if demand > 0 && s.Delta(W) == 0 {
+			cs.ProgressStall = 1
+		}
+	}
+
+	// Cluster latency quantiles: sum each bucket's windowed delta across
+	// reachable nodes, then reconstruct. Deltas make this the latency of
+	// just-this-window commits, not the run-so-far average.
+	cs.LatencyP50us, cs.LatencyP99us = m.windowLatency(W)
+	return cs
+}
+
+// windowLatency reconstructs p50/p99 slot latency from the cumulative
+// bucket ladders, windowed: each node's per-bucket delta over the
+// lookback is summed cluster-wide, giving one merged ladder for the
+// window.
+func (m *Monitor) windowLatency(W int) (p50, p99 float64) {
+	const fam = "bftkit_slot_latency_microseconds_bucket"
+	byUpper := make(map[float64]float64)
+	var count float64
+	for _, ns := range m.nodes {
+		if ns.ConsecutiveFailures >= 2 {
+			continue
+		}
+		for k, s := range ns.Store.series {
+			if keyFamily(k) != fam {
+				continue
+			}
+			if up, ok := bucketUpper(k); ok {
+				byUpper[up] += s.Delta(W)
+			}
+		}
+		if s := ns.Store.Get("bftkit_slot_latency_microseconds_count"); s != nil {
+			count += s.Delta(W)
+		}
+	}
+	if count == 0 || len(byUpper) == 0 {
+		return 0, 0
+	}
+	uppers := make([]float64, 0, len(byUpper))
+	for up := range byUpper {
+		uppers = append(uppers, up)
+	}
+	sort.Float64s(uppers)
+	ladder := make([]obsv.PromBucket, 0, len(uppers))
+	var cum float64
+	for _, up := range uppers {
+		cum += byUpper[up]
+		ladder = append(ladder, obsv.PromBucket{Upper: up, Cum: cum})
+	}
+	return obsv.QuantileFromCumulative(ladder, count, 0.50),
+		obsv.QuantileFromCumulative(ladder, count, 0.99)
+}
+
+func sumRate(st *Store, window int, match func(string) bool) float64 {
+	var sum float64
+	for k, s := range st.series {
+		if match(k) {
+			sum += s.Rate(window)
+		}
+	}
+	return sum
+}

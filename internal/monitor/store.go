@@ -1,0 +1,208 @@
+// Package monitor is the cluster observability plane: a pull-based
+// scraper over every node's ops surface (/metrics, /healthz,
+// /forensics), a bounded ring-buffer time-series store with rate and
+// delta derivation, health signals computed per scrape (throughput,
+// latency quantiles, stalls, view-change storms, stragglers, link
+// faults, verify-pool saturation, forensics verdicts), and a
+// deterministic alert-rule engine with threshold, hysteresis and
+// for-duration semantics. cmd/bftmon is the CLI front end; the X19
+// experiment measures its fault-detection latency on a live cluster.
+package monitor
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one observation of one series.
+type Point struct {
+	At time.Time
+	V  float64
+}
+
+// Series is a bounded ring buffer of points, oldest first. Appending
+// past the capacity drops the oldest point; derivations therefore see
+// at most cap scrapes of history, which bounds memory for arbitrarily
+// long watches.
+type Series struct {
+	pts  []Point
+	head int // index of the oldest point
+	n    int
+}
+
+// NewSeries returns a ring holding at most cap points (min 2 — a
+// single point can derive nothing).
+func NewSeries(cap int) *Series {
+	if cap < 2 {
+		cap = 2
+	}
+	return &Series{pts: make([]Point, cap)}
+}
+
+func (s *Series) Add(p Point) {
+	if s.n < len(s.pts) {
+		s.pts[(s.head+s.n)%len(s.pts)] = p
+		s.n++
+		return
+	}
+	s.pts[s.head] = p
+	s.head = (s.head + 1) % len(s.pts)
+}
+
+func (s *Series) Len() int { return s.n }
+
+// At returns the i-th point, 0 = oldest.
+func (s *Series) At(i int) Point { return s.pts[(s.head+i)%len(s.pts)] }
+
+// Last returns the newest point.
+func (s *Series) Last() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.At(s.n - 1), true
+}
+
+// Delta is the counter increase over the last window intervals
+// (clamped to available history). A decrease means the counter reset —
+// the node restarted — so the post-reset value is the whole delta,
+// never a negative rate.
+func (s *Series) Delta(window int) float64 {
+	last, from, ok := s.span(window)
+	if !ok {
+		return 0
+	}
+	d := last.V - from.V
+	if d < 0 {
+		return last.V
+	}
+	return d
+}
+
+// Rate is Delta divided by the span's elapsed seconds.
+func (s *Series) Rate(window int) float64 {
+	last, from, ok := s.span(window)
+	if !ok {
+		return 0
+	}
+	sec := last.At.Sub(from.At).Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return s.Delta(window) / sec
+}
+
+func (s *Series) span(window int) (last, from Point, ok bool) {
+	if s.n < 2 {
+		return Point{}, Point{}, false
+	}
+	if window < 1 {
+		window = 1
+	}
+	i := s.n - 1 - window
+	if i < 0 {
+		i = 0
+	}
+	return s.At(s.n - 1), s.At(i), true
+}
+
+// Store holds every series scraped from one target, keyed by the
+// Prometheus series identity (name plus sorted labels).
+type Store struct {
+	cap    int
+	series map[string]*Series
+}
+
+func NewStore(cap int) *Store {
+	return &Store{cap: cap, series: make(map[string]*Series)}
+}
+
+// Observe appends one point to the named series, creating it on first
+// sight.
+func (st *Store) Observe(key string, p Point) {
+	s := st.series[key]
+	if s == nil {
+		s = NewSeries(st.cap)
+		st.series[key] = s
+	}
+	s.Add(p)
+}
+
+// Get returns the named series, or nil.
+func (st *Store) Get(key string) *Series { return st.series[key] }
+
+// Keys returns every series key, sorted — the exporter's iteration
+// order must be deterministic.
+func (st *Store) Keys() []string {
+	keys := make([]string, 0, len(st.series))
+	for k := range st.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumDelta sums Delta(window) across every series whose key passes the
+// filter — e.g. every bucket of one histogram, or one phase's counter
+// across nodes.
+func (st *Store) SumDelta(window int, match func(key string) bool) float64 {
+	var sum float64
+	for k, s := range st.series {
+		if match(k) {
+			sum += s.Delta(window)
+		}
+	}
+	return sum
+}
+
+// LastValue returns the newest value of the named series, or def.
+func (st *Store) LastValue(key string, def float64) float64 {
+	if s := st.series[key]; s != nil {
+		if p, ok := s.Last(); ok {
+			return p.V
+		}
+	}
+	return def
+}
+
+// hasPrefixAndLabel reports whether a series key is family{...label...}.
+// Series keys are name|k=v|k=v (sorted), so a family prefix match is
+// "name|" and label match is a "|k=v" segment.
+func keyFamily(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func keyHasLabel(key, label, value string) bool {
+	return strings.Contains(key, "|"+label+"="+value+"|") ||
+		strings.HasSuffix(key, "|"+label+"="+value)
+}
+
+func keyLabel(key, label string) (string, bool) {
+	for _, seg := range strings.Split(key, "|")[1:] {
+		if v, ok := strings.CutPrefix(seg, label+"="); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// bucketUpper parses the le label of a histogram-bucket series key.
+func bucketUpper(key string) (float64, bool) {
+	v, ok := keyLabel(key, "le")
+	if !ok {
+		return 0, false
+	}
+	if v == "+Inf" {
+		return math.Inf(1), true
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

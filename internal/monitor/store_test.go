@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func ts(sec int) time.Time { return time.Unix(1700000000+int64(sec), 0) }
+
+func TestSeriesRingBounds(t *testing.T) {
+	s := NewSeries(4)
+	for i := 0; i < 10; i++ {
+		s.Add(Point{At: ts(i), V: float64(i)})
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (ring bound)", s.Len())
+	}
+	if s.At(0).V != 6 || s.At(3).V != 9 {
+		t.Fatalf("ring window = [%g..%g], want [6..9]", s.At(0).V, s.At(3).V)
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 9 {
+		t.Fatalf("last = %+v", last)
+	}
+}
+
+func TestSeriesDeltaAndRate(t *testing.T) {
+	s := NewSeries(16)
+	// A counter advancing 5/tick at 1 tick/sec.
+	for i := 0; i < 10; i++ {
+		s.Add(Point{At: ts(i), V: float64(i * 5)})
+	}
+	if d := s.Delta(4); d != 20 {
+		t.Fatalf("delta(4) = %g, want 20", d)
+	}
+	if r := s.Rate(4); r != 5 {
+		t.Fatalf("rate(4) = %g, want 5", r)
+	}
+	// Window beyond history clamps to the oldest point.
+	if d := s.Delta(100); d != 45 {
+		t.Fatalf("delta(100) = %g, want 45", d)
+	}
+	// One point can derive nothing.
+	one := NewSeries(4)
+	one.Add(Point{At: ts(0), V: 7})
+	if d := one.Delta(4); d != 0 {
+		t.Fatalf("single-point delta = %g, want 0", d)
+	}
+}
+
+func TestSeriesCounterResetDetection(t *testing.T) {
+	s := NewSeries(16)
+	s.Add(Point{At: ts(0), V: 100})
+	s.Add(Point{At: ts(1), V: 110})
+	// Node restarted: counter reset to near zero, then advanced.
+	s.Add(Point{At: ts(2), V: 3})
+	if d := s.Delta(2); d != 3 {
+		t.Fatalf("post-reset delta = %g, want 3 (the restarted counter's value)", d)
+	}
+	if r := s.Rate(2); r < 0 {
+		t.Fatalf("post-reset rate = %g, negative rates must never surface", r)
+	}
+}
+
+func TestStoreSumDeltaAndKeys(t *testing.T) {
+	st := NewStore(8)
+	for i := 0; i < 4; i++ {
+		st.Observe("a_total|event=x", Point{At: ts(i), V: float64(i)})
+		st.Observe("a_total|event=y", Point{At: ts(i), V: float64(2 * i)})
+		st.Observe("b_total", Point{At: ts(i), V: float64(10 * i)})
+	}
+	got := st.SumDelta(3, func(k string) bool { return keyFamily(k) == "a_total" })
+	if got != 3+6 {
+		t.Fatalf("SumDelta(a_total) = %g, want 9", got)
+	}
+	keys := st.Keys()
+	if len(keys) != 3 || keys[0] != "a_total|event=x" || keys[2] != "b_total" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if v := st.LastValue("b_total", -1); v != 30 {
+		t.Fatalf("LastValue(b_total) = %g", v)
+	}
+	if v := st.LastValue("missing", -1); v != -1 {
+		t.Fatalf("LastValue(missing) = %g, want default", v)
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	key := "bftkit_phase_msgs_sent_total|node=r0|phase=view-change"
+	if keyFamily(key) != "bftkit_phase_msgs_sent_total" {
+		t.Fatalf("family = %q", keyFamily(key))
+	}
+	if !keyHasLabel(key, "phase", "view-change") || !keyHasLabel(key, "node", "r0") {
+		t.Fatal("label match failed")
+	}
+	if keyHasLabel(key, "phase", "view") || keyHasLabel(key, "node", "r") {
+		t.Fatal("prefix of a label value must not match")
+	}
+	if v, ok := keyLabel(key, "node"); !ok || v != "r0" {
+		t.Fatalf("keyLabel(node) = %q, %v", v, ok)
+	}
+	up, ok := bucketUpper("h_bucket|le=4095")
+	if !ok || up != 4095 {
+		t.Fatalf("bucketUpper = %g, %v", up, ok)
+	}
+	up, ok = bucketUpper("h_bucket|le=+Inf")
+	if !ok || !math.IsInf(up, 1) {
+		t.Fatalf("bucketUpper(+Inf) = %g, %v", up, ok)
+	}
+	if _, ok := bucketUpper("h_count"); ok {
+		t.Fatal("no-le key must not parse as a bucket")
+	}
+}

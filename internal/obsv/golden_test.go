@@ -17,6 +17,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // a three-phase slot with crypto ops and histogram samples.
 func goldenTracer() *Tracer {
 	tr := New(Options{Label: "golden", Events: true})
+	// Pinned identity: a real deployment stamps wall-clock start and the
+	// live toolchain; the fixture pins both so goldens never drift.
+	tr.SetNodeInfo(NodeInfo{Node: 0, Protocol: "pbft", N: 4, F: 1,
+		Start: time.Unix(1700000000, 0), GoVersion: "go-test"})
 	client := types.NodeID(types.ClientIDBase)
 	pp := &slottedMsg{fakeMsg{K: "PRE-PREPARE", View: 0, Seq: 1}}
 	prep := &slottedMsg{fakeMsg{K: "PREPARE", View: 0, Seq: 1}}

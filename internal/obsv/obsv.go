@@ -19,6 +19,7 @@
 package obsv
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -302,6 +303,10 @@ type Tracer struct {
 	// (by proof kind) and latest per-replica suspicion gauges.
 	forensicsProofs map[string]int64
 	suspicion       map[types.NodeID]float64
+
+	// nodeInfo is the identity metadata stamped by SetNodeInfo, exported
+	// as bftkit_build_info so scrapers can label series.
+	nodeInfo *NodeInfo
 
 	// CommitLatency observes submit→first-commit per request (fed by
 	// harness.Metrics); QueueDepth samples the substrate's in-flight
@@ -696,6 +701,47 @@ func (t *Tracer) SetSuspicion(node types.NodeID, score float64) {
 	}
 	t.suspicion[node] = score
 	t.mu.Unlock()
+}
+
+// NodeInfo is the identity metadata a scraper needs to label a node's
+// series without out-of-band configuration: who this node is, what
+// deployment it belongs to, and when it started. It surfaces as the
+// bftkit_build_info and bftkit_node_start_time_seconds families and in
+// the /healthz payload.
+type NodeInfo struct {
+	Node     types.NodeID
+	Protocol string
+	N, F     int
+	Start    time.Time
+	// GoVersion defaults to runtime.Version() when left empty at
+	// SetNodeInfo time; tests pin it for deterministic goldens.
+	GoVersion string
+}
+
+// SetNodeInfo stamps the tracer with its node's identity metadata.
+func (t *Tracer) SetNodeInfo(info NodeInfo) {
+	if t == nil {
+		return
+	}
+	if info.GoVersion == "" {
+		info.GoVersion = runtime.Version()
+	}
+	t.mu.Lock()
+	t.nodeInfo = &info
+	t.mu.Unlock()
+}
+
+// NodeInfo returns the identity metadata, if SetNodeInfo stamped any.
+func (t *Tracer) NodeInfo() (NodeInfo, bool) {
+	if t == nil {
+		return NodeInfo{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nodeInfo == nil {
+		return NodeInfo{}, false
+	}
+	return *t.nodeInfo, true
 }
 
 // ForensicsStats returns the accumulated proof counters by kind and

@@ -122,6 +122,39 @@ func writePromCounter(w io.Writer, name, help string, pc *promCounters, get func
 // histograms merge bucket-by-bucket (Histogram.Merge), so the scrape is
 // cluster-wide without losing fidelity.
 func WriteProm(w io.Writer, tracers ...*Tracer) error {
+	// Identity first: bftkit_build_info names the node, deployment shape,
+	// and toolchain so a scraper can label every following series without
+	// out-of-band configuration; the start-time gauge makes restarts
+	// visible as a value change. Tracers without SetNodeInfo contribute
+	// no samples, keeping fixture-driven goldens deterministic.
+	var infos []NodeInfo
+	seenNode := make(map[types.NodeID]bool)
+	for _, t := range tracers {
+		if info, ok := t.NodeInfo(); ok && !seenNode[info.Node] {
+			seenNode[info.Node] = true
+			infos = append(infos, info)
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Node < infos[j].Node })
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_build_info Node identity and build metadata; the value is always 1.\n# TYPE bftkit_build_info gauge\n"); err != nil {
+		return err
+	}
+	for _, info := range infos {
+		if _, err := fmt.Fprintf(w, "bftkit_build_info{node=%q,protocol=%q,n=\"%d\",f=\"%d\",go_version=%q} 1\n",
+			info.Node.String(), info.Protocol, info.N, info.F, info.GoVersion); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP bftkit_node_start_time_seconds Unix time the node process started, for uptime and restart detection.\n# TYPE bftkit_node_start_time_seconds gauge\n"); err != nil {
+		return err
+	}
+	for _, info := range infos {
+		if _, err := fmt.Fprintf(w, "bftkit_node_start_time_seconds{node=%q} %d\n",
+			info.Node.String(), info.Start.Unix()); err != nil {
+			return err
+		}
+	}
+
 	pc := gatherCounters(tracers)
 	counters := []struct {
 		name string

@@ -1,220 +1,27 @@
 package obsv
 
 import (
-	"bufio"
 	"bytes"
-	"fmt"
 	"math"
-	"regexp"
-	"sort"
-	"strconv"
 	"strings"
 	"testing"
 )
 
-// A strict parser for the Prometheus text exposition format, covering
-// the rules scrapers actually enforce: every family announces itself
-// with # HELP then # TYPE, sample lines carry the family's name (plus
-// _bucket/_sum/_count for histograms), families are contiguous and never
-// reopened, label keys are valid and unique, series are unique, and
-// histogram buckets are cumulative with a trailing +Inf equal to _count.
-// WriteProm output must survive this parser byte-for-byte, so exporter
-// drift (a missing HELP, interleaved families, a broken bucket ladder)
-// fails here rather than at the first real scrape.
-
-var (
-	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
-)
-
-type promFamily struct {
-	name, typ, help string
-	samples         []promSample
-}
-
-type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
+// WriteProm output must survive the public strict parser byte-for-byte,
+// so exporter drift (a missing HELP, interleaved families, a broken
+// bucket ladder) fails here rather than at the first real scrape. The
+// parser itself — the same one bftmon ingests live scrapes with — is
+// unit-tested in promparse_test.go; this file checks the exporter's
+// conformance to the per-type rules a collector enforces on top.
 
 // parsePromStrict parses a full exposition document or fails the test.
-func parsePromStrict(t *testing.T, text string) []*promFamily {
+func parsePromStrict(t *testing.T, text string) []*PromFamily {
 	t.Helper()
-	var families []*promFamily
-	closed := make(map[string]bool) // families that may not reappear
-	var cur *promFamily
-	var pendingHelp string
-
-	finish := func() {
-		if cur != nil {
-			closed[cur.name] = true
-			cur = nil
-		}
-	}
-
-	sc := bufio.NewScanner(strings.NewReader(text))
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" {
-			t.Fatalf("line %d: blank line in exposition output", lineNo)
-		}
-		switch {
-		case strings.HasPrefix(line, "# HELP "):
-			finish()
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, help, ok := strings.Cut(rest, " ")
-			if !ok || help == "" {
-				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
-			}
-			if !metricNameRe.MatchString(name) {
-				t.Fatalf("line %d: invalid metric name %q", lineNo, name)
-			}
-			if pendingHelp != "" {
-				t.Fatalf("line %d: HELP %s follows HELP %s without a TYPE between", lineNo, name, pendingHelp)
-			}
-			if closed[name] {
-				t.Fatalf("line %d: family %s reopened after other families", lineNo, name)
-			}
-			pendingHelp = name
-			families = append(families, &promFamily{name: name, help: help})
-		case strings.HasPrefix(line, "# TYPE "):
-			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(fields) != 2 {
-				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
-			}
-			name, typ := fields[0], fields[1]
-			if pendingHelp != name {
-				t.Fatalf("line %d: TYPE %s not immediately preceded by its HELP (pending %q)", lineNo, name, pendingHelp)
-			}
-			switch typ {
-			case "counter", "gauge", "histogram", "summary", "untyped":
-			default:
-				t.Fatalf("line %d: unknown type %q", lineNo, typ)
-			}
-			pendingHelp = ""
-			cur = families[len(families)-1]
-			cur.typ = typ
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
-		default:
-			if pendingHelp != "" {
-				t.Fatalf("line %d: sample before TYPE for %s", lineNo, pendingHelp)
-			}
-			if cur == nil {
-				t.Fatalf("line %d: sample outside any family: %q", lineNo, line)
-			}
-			s := parseSample(t, lineNo, line)
-			base := s.name
-			if cur.typ == "histogram" {
-				for _, suf := range []string{"_bucket", "_sum", "_count"} {
-					if trimmed, ok := strings.CutSuffix(s.name, suf); ok && trimmed == cur.name {
-						base = trimmed
-						break
-					}
-				}
-			}
-			if base != cur.name {
-				t.Fatalf("line %d: sample %s interleaved into family %s", lineNo, s.name, cur.name)
-			}
-			cur.samples = append(cur.samples, s)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-	if pendingHelp != "" {
-		t.Fatalf("trailing HELP %s without TYPE", pendingHelp)
-	}
-	finish()
-	return families
-}
-
-func parseSample(t *testing.T, lineNo int, line string) promSample {
-	t.Helper()
-	s := promSample{labels: map[string]string{}}
-	rest := line
-	if i := strings.IndexByte(line, '{'); i >= 0 {
-		s.name = line[:i]
-		end := strings.LastIndexByte(line, '}')
-		if end < i {
-			t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
-		}
-		for _, pair := range splitLabels(t, lineNo, line[i+1:end]) {
-			k, v, ok := strings.Cut(pair, "=")
-			if !ok || !labelNameRe.MatchString(k) {
-				t.Fatalf("line %d: bad label %q", lineNo, pair)
-			}
-			uq, err := strconv.Unquote(v)
-			if err != nil {
-				t.Fatalf("line %d: label value not a quoted string: %q", lineNo, v)
-			}
-			if _, dup := s.labels[k]; dup {
-				t.Fatalf("line %d: duplicate label %q", lineNo, k)
-			}
-			s.labels[k] = uq
-		}
-		rest = strings.TrimSpace(line[end+1:])
-	} else {
-		fields := strings.SplitN(line, " ", 2)
-		if len(fields) != 2 {
-			t.Fatalf("line %d: malformed sample %q", lineNo, line)
-		}
-		s.name, rest = fields[0], fields[1]
-	}
-	if !metricNameRe.MatchString(s.name) {
-		t.Fatalf("line %d: invalid sample name %q", lineNo, s.name)
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	families, err := ParseProm(strings.NewReader(text))
 	if err != nil {
-		t.Fatalf("line %d: value %q: %v", lineNo, rest, err)
+		t.Fatalf("exposition output rejected: %v", err)
 	}
-	s.value = v
-	return s
-}
-
-// splitLabels splits `a="x",b="y"` on commas outside quotes.
-func splitLabels(t *testing.T, lineNo int, s string) []string {
-	t.Helper()
-	if s == "" {
-		return nil
-	}
-	var out []string
-	depth := false
-	start := 0
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '"':
-			if i == 0 || s[i-1] != '\\' {
-				depth = !depth
-			}
-		case ',':
-			if !depth {
-				out = append(out, s[start:i])
-				start = i + 1
-			}
-		}
-	}
-	if depth {
-		t.Fatalf("line %d: unbalanced quotes in labels %q", lineNo, s)
-	}
-	return append(out, s[start:])
-}
-
-func seriesKey(s promSample) string {
-	keys := make([]string, 0, len(s.labels))
-	for k := range s.labels {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(s.name)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "|%s=%s", k, s.labels[k])
-	}
-	return b.String()
+	return families
 }
 
 // TestPromStrictConformance parses the complete WriteProm output — both
@@ -238,51 +45,52 @@ func TestPromStrictConformance(t *testing.T) {
 			}
 			seenFamily := make(map[string]bool)
 			for _, f := range families {
-				if seenFamily[f.name] {
-					t.Fatalf("family %s declared twice", f.name)
+				if seenFamily[f.Name] {
+					t.Fatalf("family %s declared twice", f.Name)
 				}
-				seenFamily[f.name] = true
-				if !strings.HasPrefix(f.name, "bftkit_") {
-					t.Errorf("family %s outside the bftkit_ namespace", f.name)
+				seenFamily[f.Name] = true
+				if !strings.HasPrefix(f.Name, "bftkit_") {
+					t.Errorf("family %s outside the bftkit_ namespace", f.Name)
 				}
 				seen := make(map[string]bool)
-				for _, s := range f.samples {
-					if key := seriesKey(s); seen[key] {
+				for _, s := range f.Samples {
+					if key := s.SeriesKey(); seen[key] {
 						t.Errorf("duplicate series %s", key)
 					} else {
 						seen[key] = true
 					}
-					if s.value < 0 {
-						t.Errorf("negative value on %s: %v", s.name, s.value)
+					if s.Value < 0 {
+						t.Errorf("negative value on %s: %v", s.Name, s.Value)
 					}
 				}
-				switch f.typ {
+				switch f.Type {
 				case "counter":
-					for _, s := range f.samples {
-						if !strings.HasSuffix(f.name, "_total") {
-							t.Errorf("counter %s not *_total", f.name)
+					for _, s := range f.Samples {
+						if !strings.HasSuffix(f.Name, "_total") {
+							t.Errorf("counter %s not *_total", f.Name)
 						}
-						if s.name != f.name {
-							t.Errorf("counter sample %s under family %s", s.name, f.name)
+						if s.Name != f.Name {
+							t.Errorf("counter sample %s under family %s", s.Name, f.Name)
 						}
 					}
 				case "gauge":
-					for _, s := range f.samples {
-						if strings.HasSuffix(f.name, "_total") {
-							t.Errorf("gauge %s must not be *_total", f.name)
+					for _, s := range f.Samples {
+						if strings.HasSuffix(f.Name, "_total") {
+							t.Errorf("gauge %s must not be *_total", f.Name)
 						}
-						if s.name != f.name {
-							t.Errorf("gauge sample %s under family %s", s.name, f.name)
+						if s.Name != f.Name {
+							t.Errorf("gauge sample %s under family %s", s.Name, f.Name)
 						}
 					}
 				case "histogram":
 					checkHistogramFamily(t, f)
 				default:
-					t.Errorf("unexpected family type %s for %s", f.typ, f.name)
+					t.Errorf("unexpected family type %s for %s", f.Type, f.Name)
 				}
 			}
 			// The full metric surface must be present even when empty.
 			for _, want := range []string{
+				"bftkit_build_info", "bftkit_node_start_time_seconds",
 				"bftkit_phase_msgs_sent_total", "bftkit_phase_msgs_recv_total",
 				"bftkit_phase_bytes_sent_total", "bftkit_phase_bytes_recv_total",
 				"bftkit_phase_sign_total", "bftkit_phase_verify_total",
@@ -299,51 +107,19 @@ func TestPromStrictConformance(t *testing.T) {
 	}
 }
 
-func checkHistogramFamily(t *testing.T, f *promFamily) {
+func checkHistogramFamily(t *testing.T, f *PromFamily) {
 	t.Helper()
-	var count, sum float64
-	haveCount, haveSum, haveInf := false, false, false
-	prev := math.Inf(-1)
-	var cum float64
-	for _, s := range f.samples {
-		switch s.name {
-		case f.name + "_bucket":
-			le, ok := s.labels["le"]
-			if !ok {
-				t.Fatalf("%s bucket without le label", f.name)
-			}
-			var upper float64
-			if le == "+Inf" {
-				haveInf = true
-				upper = math.Inf(1)
-			} else {
-				var err error
-				if upper, err = strconv.ParseFloat(le, 64); err != nil {
-					t.Fatalf("%s: bad le %q", f.name, le)
-				}
-			}
-			if upper <= prev {
-				t.Fatalf("%s: bucket bounds not increasing (%v after %v)", f.name, upper, prev)
-			}
-			if s.value < cum {
-				t.Fatalf("%s: bucket counts not cumulative (%v after %v)", f.name, s.value, cum)
-			}
-			prev, cum = upper, s.value
-		case f.name + "_count":
-			count, haveCount = s.value, true
-		case f.name + "_sum":
-			sum, haveSum = s.value, true
-		default:
-			t.Fatalf("%s: unexpected sample %s", f.name, s.name)
+	hists, err := f.Histograms()
+	if err != nil {
+		t.Fatalf("%s: %v", f.Name, err)
+	}
+	for _, h := range hists {
+		if h.Count == 0 && h.Sum != 0 {
+			t.Fatalf("%s: empty histogram with nonzero sum %v", f.Name, h.Sum)
 		}
-	}
-	if !haveCount || !haveSum || !haveInf {
-		t.Fatalf("%s: incomplete histogram (count=%v sum=%v +Inf=%v)", f.name, haveCount, haveSum, haveInf)
-	}
-	if cum != count {
-		t.Fatalf("%s: +Inf bucket %v != count %v", f.name, cum, count)
-	}
-	if count == 0 && sum != 0 {
-		t.Fatalf("%s: empty histogram with nonzero sum %v", f.name, sum)
+		last := h.Buckets[len(h.Buckets)-1]
+		if !math.IsInf(last.Upper, 1) {
+			t.Fatalf("%s: last bucket is %v, not +Inf", f.Name, last.Upper)
+		}
 	}
 }

@@ -1,0 +1,371 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the Prometheus text exposition format, covering
+// the rules scrapers actually enforce: every family announces itself
+// with # HELP then # TYPE, sample lines carry the family's name (plus
+// _bucket/_sum/_count for histograms), families are contiguous and
+// never reopened, label keys are valid and unique, and histogram
+// buckets are answerable as cumulative ladders. WriteProm output must
+// survive this parser byte-for-byte (prom_parse_test.go), and bftmon
+// uses the same parser to ingest live scrapes — so exporter drift (a
+// missing HELP, interleaved families, a broken bucket ladder) fails in
+// tests rather than at the first real scrape.
+
+var (
+	promMetricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// PromSample is one sample line: name{labels} value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one contiguous metric family: its HELP text, TYPE, and
+// every sample line that followed, in document order.
+type PromFamily struct {
+	Name, Type, Help string
+	Samples          []PromSample
+}
+
+// ParseProm parses a complete text-exposition document strictly: any
+// violation of the format rules a scraper depends on is an error, with
+// the offending line number in the message.
+func ParseProm(r io.Reader) ([]*PromFamily, error) {
+	var families []*PromFamily
+	closed := make(map[string]bool) // families that may not reappear
+	var cur *PromFamily
+	var pendingHelp string
+
+	finish := func() {
+		if cur != nil {
+			closed[cur.Name] = true
+			cur = nil
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			return nil, fmt.Errorf("line %d: blank line in exposition output", lineNo)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			finish()
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				return nil, fmt.Errorf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if !promMetricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if pendingHelp != "" {
+				return nil, fmt.Errorf("line %d: HELP %s follows HELP %s without a TYPE between", lineNo, name, pendingHelp)
+			}
+			if closed[name] {
+				return nil, fmt.Errorf("line %d: family %s reopened after other families", lineNo, name)
+			}
+			pendingHelp = name
+			families = append(families, &PromFamily{Name: name, Help: help})
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if pendingHelp != name {
+				return nil, fmt.Errorf("line %d: TYPE %s not immediately preceded by its HELP (pending %q)", lineNo, name, pendingHelp)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			pendingHelp = ""
+			cur = families[len(families)-1]
+			cur.Type = typ
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		default:
+			if pendingHelp != "" {
+				return nil, fmt.Errorf("line %d: sample before TYPE for %s", lineNo, pendingHelp)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: sample outside any family: %q", lineNo, line)
+			}
+			s, err := parsePromSample(lineNo, line)
+			if err != nil {
+				return nil, err
+			}
+			base := s.Name
+			if cur.Type == "histogram" {
+				for _, suf := range []string{"_bucket", "_sum", "_count"} {
+					if trimmed, ok := strings.CutSuffix(s.Name, suf); ok && trimmed == cur.Name {
+						base = trimmed
+						break
+					}
+				}
+			}
+			if base != cur.Name {
+				return nil, fmt.Errorf("line %d: sample %s interleaved into family %s", lineNo, s.Name, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingHelp != "" {
+		return nil, fmt.Errorf("trailing HELP %s without TYPE", pendingHelp)
+	}
+	finish()
+	return families, nil
+}
+
+func parsePromSample(lineNo int, line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, fmt.Errorf("line %d: unterminated label set: %q", lineNo, line)
+		}
+		pairs, err := splitPromLabels(lineNo, line[i+1:end])
+		if err != nil {
+			return s, err
+		}
+		for _, pair := range pairs {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !promLabelNameRe.MatchString(k) {
+				return s, fmt.Errorf("line %d: bad label %q", lineNo, pair)
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, fmt.Errorf("line %d: label value not a quoted string: %q", lineNo, v)
+			}
+			if _, dup := s.Labels[k]; dup {
+				return s, fmt.Errorf("line %d: duplicate label %q", lineNo, k)
+			}
+			s.Labels[k] = uq
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		s.Name, rest = fields[0], fields[1]
+	}
+	if !promMetricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("line %d: invalid sample name %q", lineNo, s.Name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: value %q: %v", lineNo, rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitPromLabels splits `a="x",b="y"` on commas outside quotes.
+func splitPromLabels(lineNo int, s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("line %d: unbalanced quotes in labels %q", lineNo, s)
+	}
+	return append(out, s[start:]), nil
+}
+
+// SeriesKey identifies one series within a document: the sample name
+// plus its sorted label pairs.
+func (s PromSample) SeriesKey() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// PromBucket is one cumulative histogram bucket: the count of samples
+// at or below Upper (math.Inf(1) for the +Inf bucket).
+type PromBucket struct {
+	Upper float64
+	Cum   float64
+}
+
+// PromHistogram is one reconstructed histogram series: the cumulative
+// bucket ladder plus _sum and _count, for the label set Labels (the
+// sample's labels minus le).
+type PromHistogram struct {
+	Labels  map[string]string
+	Buckets []PromBucket
+	Sum     float64
+	Count   float64
+}
+
+// Histograms reconstructs every histogram series in a histogram-typed
+// family, grouped by non-le labels, and validates each ladder: strictly
+// increasing bounds, monotone cumulative counts, a trailing +Inf bucket
+// equal to _count. (WriteProm emits a single unlabeled series per
+// family; bftmon's re-export adds an instance label, so grouping is
+// general.)
+func (f *PromFamily) Histograms() ([]*PromHistogram, error) {
+	if f.Type != "histogram" {
+		return nil, fmt.Errorf("family %s has type %s, not histogram", f.Name, f.Type)
+	}
+	byKey := make(map[string]*PromHistogram)
+	var order []string
+	get := func(labels map[string]string) *PromHistogram {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := PromSample{Name: f.Name, Labels: rest}.SeriesKey()
+		h := byKey[key]
+		if h == nil {
+			h = &PromHistogram{Labels: rest}
+			byKey[key] = h
+			order = append(order, key)
+		}
+		return h
+	}
+	seenCount := make(map[string]bool)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			var upper float64
+			if le == "+Inf" {
+				upper = math.Inf(1)
+			} else {
+				var err error
+				if upper, err = strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("%s: bad le %q", f.Name, le)
+				}
+			}
+			get(s.Labels).Buckets = append(get(s.Labels).Buckets, PromBucket{Upper: upper, Cum: s.Value})
+		case f.Name + "_sum":
+			get(s.Labels).Sum = s.Value
+		case f.Name + "_count":
+			h := get(s.Labels)
+			h.Count = s.Value
+			seenCount[PromSample{Name: f.Name, Labels: h.Labels}.SeriesKey()] = true
+		default:
+			return nil, fmt.Errorf("%s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	out := make([]*PromHistogram, 0, len(order))
+	for _, key := range order {
+		h := byKey[key]
+		if !seenCount[key] {
+			return nil, fmt.Errorf("%s: histogram series %s missing _count", f.Name, key)
+		}
+		prev := math.Inf(-1)
+		var cum float64
+		haveInf := false
+		for _, b := range h.Buckets {
+			if b.Upper <= prev {
+				return nil, fmt.Errorf("%s: bucket bounds not increasing (%v after %v)", f.Name, b.Upper, prev)
+			}
+			if b.Cum < cum {
+				return nil, fmt.Errorf("%s: bucket counts not cumulative (%v after %v)", f.Name, b.Cum, cum)
+			}
+			if math.IsInf(b.Upper, 1) {
+				haveInf = true
+			}
+			prev, cum = b.Upper, b.Cum
+		}
+		if !haveInf {
+			return nil, fmt.Errorf("%s: histogram without +Inf bucket", f.Name)
+		}
+		if cum != h.Count {
+			return nil, fmt.Errorf("%s: +Inf bucket %v != count %v", f.Name, cum, h.Count)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// Quantile reconstructs an upper bound on the q-th quantile (0..1) from
+// the cumulative bucket ladder by the same nearest-rank rule the source
+// Histogram answers with: the upper edge of the bucket holding the
+// q-th sample. An empty histogram answers 0; when only the +Inf bucket
+// holds samples the finite ladder has no upper edge to report, so the
+// answer is +Inf — a caller rendering it should say "over <last finite
+// bound>" rather than a number.
+func (h *PromHistogram) Quantile(q float64) float64 {
+	return QuantileFromCumulative(h.Buckets, h.Count, q)
+}
+
+// QuantileFromCumulative is the shared bucket-walk: given a cumulative
+// ladder and the total count, find the upper bound of the bucket that
+// holds the q-th sample (nearest-rank over count−1, matching
+// Histogram.Quantile). It is the single reconstruction used by the
+// obsv Histogram, bftmon's scrape-side quantiles, and any comparator
+// working from exported bucket counts.
+func QuantileFromCumulative(buckets []PromBucket, count, q float64) float64 {
+	if count <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := math.Floor(q * (count - 1))
+	for _, b := range buckets {
+		if b.Cum > rank {
+			return b.Upper
+		}
+	}
+	return buckets[len(buckets)-1].Upper
+}

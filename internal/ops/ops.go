@@ -1,0 +1,112 @@
+// Package ops is the node-local operations surface every deployment
+// path shares: the /metrics (Prometheus), /healthz (JSON), /forensics
+// (accountability verdict), and /debug/pprof endpoints that
+// cmd/bftnode serves on -metrics-addr and harness.TCPCluster serves
+// per replica in Ops mode. Keeping the mux and the health payload in
+// one package means bftmon scrapes the same shapes from a live
+// multi-process deployment and from an in-process test cluster.
+package ops
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"bftkit/internal/forensics"
+	"bftkit/internal/obsv"
+)
+
+// Health is the /healthz payload. Beyond liveness it carries the
+// node's identity (so a scraper can label series without out-of-band
+// config), the deployment shape, and — critically for staleness
+// detection — the server's own wall clock and monotonic uptime: a
+// scraper that caches a response can tell a fresh sample from a stale
+// one, and bftmon flags nodes whose scrape age exceeds two intervals
+// as unreachable instead of silently reusing old numbers.
+type Health struct {
+	Status   string `json:"status"`
+	Protocol string `json:"protocol"`
+	Node     int    `json:"node"`
+	N        int    `json:"n,omitempty"`
+	F        int    `json:"f,omitempty"`
+	// StartTime is the process start (wall clock); ServerTime is the
+	// server's clock at response time, so the pair dates the sample even
+	// through caches. UptimeSeconds is measured monotonically.
+	StartTime     time.Time `json:"start_time"`
+	ServerTime    time.Time `json:"server_time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	// LastCommitSeq is the highest slot this replica has committed —
+	// the cluster-progress and straggler signal bftmon divides on.
+	LastCommitSeq uint64 `json:"last_commit_seq"`
+
+	Transport *obsv.TransportStats `json:"transport,omitempty"`
+	// VerifyPool reports the verification engine's mechanism counters
+	// (work performed vs recalled, garbage rejected); present only when
+	// the engine has been active.
+	VerifyPool *obsv.VerifyPoolStats `json:"verify_pool,omitempty"`
+}
+
+// Mux assembles the ops surface. health is called per /healthz request
+// and should fill identity and progress; ServerTime, UptimeSeconds
+// (from start), Transport and VerifyPool (from tr) are stamped here so
+// callers cannot forget the staleness fields. report, when non-nil,
+// snapshots the forensics auditor's verdict for /forensics;
+// snapshotting also pushes suspicion gauges into the tracer, so
+// /metrics stays current with /forensics. The tracer and auditor are
+// mutex-guarded, so scrapes race-free against the running node.
+func Mux(health func() Health, start time.Time, tr *obsv.Tracer, report func() *forensics.Report) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if tr != nil {
+			tr.WriteProm(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		h := health()
+		if h.Status == "" {
+			h.Status = "ok"
+		}
+		h.StartTime = start
+		h.ServerTime = time.Now()
+		h.UptimeSeconds = time.Since(start).Seconds()
+		if tr != nil {
+			ts := tr.TransportStats()
+			h.Transport = &ts
+			if vs := tr.VerifyPoolStats(); vs.Total() > 0 {
+				h.VerifyPool = &vs
+			}
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/forensics", func(w http.ResponseWriter, r *http.Request) {
+		if report == nil {
+			http.Error(w, "forensics auditor not enabled (start bftnode with -forensics)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(report())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the mux in the background; the caller
+// closes the returned server on shutdown. The listener's address comes
+// back separately so ":0" picks a free port and the log line names it.
+func Serve(addr string, mux *http.ServeMux) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -2,6 +2,7 @@ package pbft
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"bftkit/internal/core"
@@ -101,6 +102,16 @@ type PBFT struct {
 	sentNewView  map[types.View]bool
 	vcTimeout    time.Duration
 
+	// viewEvidence tracks, per peer, the highest view that peer has
+	// demonstrated through an authenticated protocol message. A replica
+	// that restarts after the cluster performed a view change boots at
+	// view 0 and would otherwise reject every current-view message
+	// forever — the NewViewMsg that moved the others was consumed long
+	// ago. Once f+1 distinct peers show views above ours, at least one
+	// honest replica reached its view through a certified view change,
+	// so the (f+1)-th highest evidenced view is safe to adopt.
+	viewEvidence map[types.NodeID]types.View
+
 	batchArmed bool
 }
 
@@ -139,6 +150,7 @@ func (p *PBFT) Init(env core.Env) {
 	p.lastReply = make(map[types.NodeID]*types.Reply)
 	p.vcs = make(map[types.View]map[types.NodeID]*ViewChangeMsg)
 	p.sentNewView = make(map[types.View]bool)
+	p.viewEvidence = make(map[types.NodeID]types.View)
 	p.catchup = make(map[types.SeqNum]map[types.Digest]*catchupEntry)
 	p.vcTimeout = env.Config().ViewChangeTimeout
 	if p.opts.RejuvenationInterval > 0 {
@@ -351,6 +363,12 @@ func (p *PBFT) equivocate(pp *PrePrepareMsg) {
 // the leader to record its own proposal).
 func (p *PBFT) acceptPrePrepare(pp *PrePrepareMsg) {
 	if pp.View != p.view || p.inViewChange {
+		// Callers have already authenticated the pre-prepare against
+		// the leader of pp.View, so a future view counts as that
+		// leader's evidence toward a view jump.
+		if pp.View > p.view {
+			p.noteHigherView(p.env.Config().LeaderOf(pp.View), pp.View)
+		}
 		return
 	}
 	cfg := p.env.Config()
@@ -539,7 +557,13 @@ func (p *PBFT) onCommitted(from types.NodeID, m *CommittedMsg) {
 }
 
 func (p *PBFT) onPrepare(from types.NodeID, m *PrepareMsg) {
-	if m.View != p.view || p.inViewChange || m.Replica != from {
+	if m.Replica != from {
+		return
+	}
+	if m.View != p.view || p.inViewChange {
+		if m.View > p.view && core.VerifyAuth(p.env, from, m.SigDigest(), m.Sig, m.Auth) {
+			p.noteHigherView(from, m.View)
+		}
 		return
 	}
 	if m.Seq <= p.env.Ledger().LowWater() {
@@ -604,7 +628,13 @@ func (p *PBFT) checkPrepared(k instKey, in *instance) {
 }
 
 func (p *PBFT) onCommit(from types.NodeID, m *CommitMsg) {
-	if m.View != p.view || p.inViewChange || m.Replica != from {
+	if m.Replica != from {
+		return
+	}
+	if m.View != p.view || p.inViewChange {
+		if m.View > p.view && core.VerifyAuth(p.env, from, m.SigDigest(), m.Sig, m.Auth) {
+			p.noteHigherView(from, m.View)
+		}
 		return
 	}
 	if m.Seq <= p.env.Ledger().LowWater() {
@@ -620,6 +650,58 @@ func (p *PBFT) onCommit(from types.NodeID, m *CommitMsg) {
 	}
 	in.commits[from] = m.Sig
 	p.checkCommitted(k, in)
+}
+
+// noteHigherView records signature-verified evidence that a peer
+// operates at a view above ours and, once f+1 distinct peers do, jumps
+// directly to the (f+1)-th highest evidenced view. This is the rejoin
+// path for a replica that slept through view changes (crash + restart):
+// it cannot replay the NewViewMsg that moved the cluster, but f+1
+// distinct authenticated senders at higher views guarantee at least one
+// honest replica reached its view through a certified view change.
+func (p *PBFT) noteHigherView(from types.NodeID, v types.View) {
+	if p.viewEvidence == nil {
+		p.viewEvidence = make(map[types.NodeID]types.View)
+	}
+	if v <= p.viewEvidence[from] {
+		return
+	}
+	p.viewEvidence[from] = v
+	if len(p.viewEvidence) <= p.env.F() {
+		return
+	}
+	views := make([]types.View, 0, len(p.viewEvidence))
+	for _, ev := range p.viewEvidence {
+		views = append(views, ev)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i] > views[j] })
+	if target := views[p.env.F()]; target > p.view {
+		p.jumpToView(target)
+	}
+}
+
+// jumpToView adopts view v without running our own view change,
+// resetting the same per-view state installNewView does, then pulls the
+// committed slots we missed while dark.
+func (p *PBFT) jumpToView(v types.View) {
+	p.env.Logf("view sync: jumping from view %d to %d on f+1 higher-view evidence", p.view, v)
+	p.view = v
+	p.inViewChange = false
+	p.inFlight = make(map[types.RequestKey]bool)
+	p.vcTimeout = p.env.Config().ViewChangeTimeout
+	p.env.StopTimer(core.TimerID{Name: timerViewChange, View: v})
+	p.env.ViewChanged(v)
+	p.requestCatchup()
+	for vv := range p.vcs {
+		if vv <= v {
+			delete(p.vcs, vv)
+		}
+	}
+	p.viewEvidence = make(map[types.NodeID]types.View)
+	for key := range p.watch {
+		p.armProgress(key)
+		break
+	}
 }
 
 func (p *PBFT) checkCommitted(k instKey, in *instance) {

@@ -25,10 +25,14 @@ trap cleanup EXIT
 
 go build -o "$BIN/bftnode" ./cmd/bftnode
 go build -o "$BIN/bftclient" ./cmd/bftclient
+go build -o "$BIN/bftmon" ./cmd/bftmon
 
 PEERS="0=127.0.0.1:$BASE_PORT,1=127.0.0.1:$((BASE_PORT+1)),2=127.0.0.1:$((BASE_PORT+2)),3=127.0.0.1:$((BASE_PORT+3))"
+MON_BASE=$((BASE_PORT+200))
+TARGETS="node0=127.0.0.1:$MON_BASE,node1=127.0.0.1:$((MON_BASE+1)),node2=127.0.0.1:$((MON_BASE+2)),node3=127.0.0.1:$((MON_BASE+3))"
 for i in 0 1 2 3; do
-    "$BIN/bftnode" -id "$i" -protocol "$PROTO" -peers "$PEERS" >"$LOGS/node$i.log" 2>&1 &
+    "$BIN/bftnode" -id "$i" -protocol "$PROTO" -peers "$PEERS" \
+        -metrics-addr "127.0.0.1:$((MON_BASE+i))" >"$LOGS/node$i.log" 2>&1 &
     pids+=($!)
 done
 
@@ -58,4 +62,16 @@ grep -q "^$REQUESTS requests against $PROTO" "$LOGS/client.log" || {
     echo "client did not report $REQUESTS completed requests" >&2
     exit 1
 }
-echo "tcp smoke OK: $REQUESTS requests committed over $PROTO (n=4)"
+
+# Point the monitoring plane at the live cluster: every node must be
+# scrapeable and the alert engine must stay silent on a healthy
+# deployment — any firing alert (unreachable node, stall, storm) fails
+# the smoke with exit 1.
+if ! "$BIN/bftmon" -targets "$TARGETS" -once -scrapes 4 -interval 250ms \
+        -exit-on-alert | tee "$LOGS/bftmon.log"; then
+    echo "--- bftmon reported alerts on a healthy cluster; node logs follow ---" >&2
+    tail -n 20 "$LOGS"/node*.log >&2
+    exit 1
+fi
+
+echo "tcp smoke OK: $REQUESTS requests committed over $PROTO (n=4), bftmon scrape clean"
